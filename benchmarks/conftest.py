@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (see DESIGN.md's
+per-experiment index), prints the regenerated table, and asserts the
+paper's shape claims.  Timing is recorded by pytest-benchmark; heavy
+experiment drivers run once (``rounds=1``) since their cost, not their
+jitter, is the interesting number.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, experiment_id: str, **kwargs):
+    """Run an experiment driver under the benchmark and verify its claims."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, f"{experiment_id} failed shape claims: {failed}"
+    return result

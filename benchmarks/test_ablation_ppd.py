@@ -1,0 +1,55 @@
+"""Ablation: HMC posterior vs Gaussian (Laplace) PPD approximation.
+
+Section 5.3 weighs hybrid Monte Carlo (accurate, expensive, needs tuning)
+against a Gaussian approximation (cheap, possibly inappropriate).  Both
+plug into the same Parakeet runtime here; the bench times the cheap
+pipeline and checks that both PPDs support the Figure 16 tradeoff.
+"""
+
+import numpy as np
+
+from repro.ml.evaluation import precision_recall_sweep
+from repro.ml.hmc import HMCConfig
+from repro.ml.images import make_dataset
+from repro.ml.laplace import train_laplace_parakeet
+from repro.ml.parakeet import train_parakeet
+from repro.rng import default_rng
+
+
+def test_ablation_hmc_vs_laplace_ppd(benchmark):
+    x_train, t_train = make_dataset(1_000, rng=default_rng(30))
+    x_eval, t_eval = make_dataset(300, rng=default_rng(31))
+
+    laplace = benchmark.pedantic(
+        lambda: train_laplace_parakeet(
+            x_train, t_train, epochs=100, pool_size=25, rng=default_rng(32)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    hmc = train_parakeet(
+        x_train,
+        t_train,
+        pretrain_epochs=100,
+        hmc_config=HMCConfig(n_samples=25, thin=4, burn_in=80),
+        rng=default_rng(33),
+    )
+
+    alphas = (0.2, 0.5, 0.8)
+    laplace_sweep = precision_recall_sweep(laplace, x_eval, t_eval, alphas=alphas)
+    hmc_sweep = precision_recall_sweep(hmc, x_eval, t_eval, alphas=alphas)
+
+    print("\nalpha  laplace(P/R)      hmc(P/R)")
+    for lp, hp in zip(laplace_sweep, hmc_sweep):
+        print(
+            f"{lp.alpha:5.1f}  {lp.precision:.2f}/{lp.recall:.2f}"
+            f"        {hp.precision:.2f}/{hp.recall:.2f}"
+        )
+
+    # Both PPDs must expose the developer-selectable tradeoff...
+    for sweep in (laplace_sweep, hmc_sweep):
+        assert sweep[0].recall >= sweep[-1].recall - 0.05
+        assert sweep[-1].precision >= sweep[0].precision - 0.05
+    # ...and agree roughly on the middle operating point.
+    mid_l, mid_h = laplace_sweep[1], hmc_sweep[1]
+    assert abs(mid_l.precision - mid_h.precision) < 0.2

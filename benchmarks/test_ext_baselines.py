@@ -1,0 +1,7 @@
+"""Extension bench: interval analysis and CES prob<T> baselines."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ext_baselines(benchmark):
+    run_and_report(benchmark, "ext_baselines", fast=True)

@@ -1,0 +1,7 @@
+"""Extension bench: particle-filter sensor fusion."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ext_fusion(benchmark):
+    run_and_report(benchmark, "ext_fusion", fast=True)

@@ -1,0 +1,7 @@
+"""Extension bench: geofencing event storms."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ext_geofence(benchmark):
+    run_and_report(benchmark, "ext_geofence", fast=True)

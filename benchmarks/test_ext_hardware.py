@@ -1,0 +1,7 @@
+"""Extension bench: approximate hardware through the evidence lens."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ext_hardware(benchmark):
+    run_and_report(benchmark, "ext_hardware", fast=True)

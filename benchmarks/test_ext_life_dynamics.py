@@ -1,0 +1,7 @@
+"""Extension bench: compounding errors in free-running noisy Life."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ext_life_dynamics(benchmark):
+    run_and_report(benchmark, "ext_life_dynamics", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 1 bench: a single sample is a poor estimate of a distribution."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig01_sample_vs_distribution(benchmark):
+    run_and_report(benchmark, "fig01", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 3 bench: naive GPS speed computation produces absurd speeds."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig03_naive_speed(benchmark):
+    run_and_report(benchmark, "fig03", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 4 bench: speeding-ticket probability across speed and accuracy."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig04_ticket_probability(benchmark):
+    run_and_report(benchmark, "fig04", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 6 bench: computation compounds uncertainty."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig06_compounding(benchmark):
+    run_and_report(benchmark, "fig06", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 9 bench: conditionals evaluate evidence, not booleans."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig09_evidence(benchmark):
+    run_and_report(benchmark, "fig09", fast=True)

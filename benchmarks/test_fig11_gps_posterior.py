@@ -1,0 +1,7 @@
+"""Figures 11-12 bench: the Rayleigh GPS posterior and GPS.GetLocation."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig11_gps_posterior(benchmark):
+    run_and_report(benchmark, "fig11", fast=True)

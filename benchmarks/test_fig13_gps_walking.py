@@ -1,0 +1,7 @@
+"""Figures 5 & 13 bench: GPS-Walking — naive vs Uncertain vs prior."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig13_gps_walking(benchmark):
+    run_and_report(benchmark, "fig13", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 15 bench: the posterior predictive distribution for Sobel."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig15_ppd(benchmark):
+    run_and_report(benchmark, "fig15", fast=True)

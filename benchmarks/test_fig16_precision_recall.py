@@ -1,0 +1,7 @@
+"""Figure 16 bench: precision/recall versus the conditional threshold."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig16_precision_recall(benchmark):
+    run_and_report(benchmark, "fig16", fast=True)

@@ -1,0 +1,7 @@
+"""Figure 17 bench: generative-PPL inference cost vs Uncertain conditionals."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig17_ppl_baseline(benchmark):
+    run_and_report(benchmark, "fig17", fast=True)

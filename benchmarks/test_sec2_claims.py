@@ -1,0 +1,7 @@
+"""Section 2 bench: the compounded-error quantitative claims."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_sec2_claims(benchmark):
+    run_and_report(benchmark, "sec2", fast=True)

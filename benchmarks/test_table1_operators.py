@@ -1,0 +1,60 @@
+"""Table 1 bench: operator conformance plus core runtime throughput.
+
+The throughput benches quantify the design decisions DESIGN.md records:
+lazy graph construction (building expressions costs nanoseconds, sampling
+pays at conditionals) and vectorised batch sampling.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+from repro.core.conditionals import evaluation_config
+from repro.core.uncertain import Uncertain
+from repro.dists import Gaussian
+from repro.rng import default_rng
+
+
+def test_table1_operator_conformance(benchmark):
+    run_and_report(benchmark, "table1", fast=True)
+
+
+def test_throughput_lazy_graph_construction(benchmark):
+    """Building a 100-node expression draws zero samples (lazy evaluation)."""
+    a = Uncertain(Gaussian(0.0, 1.0))
+    b = Uncertain(Gaussian(1.0, 1.0))
+
+    def build():
+        expr = a
+        for _ in range(50):
+            expr = (expr + b) * 0.5
+        return expr
+
+    expr = benchmark(build)
+    from repro.core.graph import node_count
+
+    assert node_count(expr.node) > 100
+
+
+def test_throughput_batch_sampling(benchmark):
+    """Vectorised ancestral sampling of a 20-node network, 10k joint samples."""
+    a = Uncertain(Gaussian(0.0, 1.0))
+    b = Uncertain(Gaussian(1.0, 1.0))
+    expr = a
+    for _ in range(9):
+        expr = (expr + b) * 0.5
+    rng = default_rng(5)
+
+    samples = benchmark(lambda: expr.samples(10_000, rng))
+    assert samples.shape == (10_000,)
+
+
+def test_throughput_implicit_conditional(benchmark):
+    """End-to-end cost of one implicit conditional (build + SPRT)."""
+    a = Uncertain(Gaussian(1.0, 1.0))
+    b = Uncertain(Gaussian(0.0, 1.0))
+
+    def conditional():
+        with evaluation_config(rng=default_rng(6)):
+            return bool(a > b)
+
+    assert benchmark(conditional) is True

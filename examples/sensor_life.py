@@ -1,0 +1,44 @@
+"""SensorLife (Section 5.2): Conway's Game of Life on noisy sensors.
+
+Runs NaiveLife, SensorLife and BayesLife against ground truth over a range
+of noise amplitudes and prints the Figure 14 table: decision error rates
+and sampling cost per cell update.
+
+Run with::
+
+    python examples/sensor_life.py
+"""
+
+from repro.life.evaluation import evaluate_variants
+from repro.rng import default_rng
+
+
+def main() -> None:
+    sigmas = (0.05, 0.1, 0.2, 0.3, 0.4)
+    print("evaluating NaiveLife / SensorLife / BayesLife "
+          f"at sigma in {sigmas} (reduced protocol)...")
+    points = evaluate_variants(
+        sigmas,
+        rng=default_rng(14),
+        rows=12, cols=12, generations=6, runs=3, max_samples=300,
+    )
+
+    print(f"\n{'variant':<12} {'sigma':>5} {'error rate':>12} "
+          f"{'joint samples/update':>21} {'sensor samples/update':>22}")
+    for p in points:
+        print(
+            f"{p.variant:<12} {p.sigma:>5.2f} "
+            f"{p.error_rate:>9.3f}±{p.error_ci95:.3f} "
+            f"{p.joint_samples_per_update:>21.1f} "
+            f"{p.sensor_samples_per_update:>22.1f}"
+        )
+
+    print(
+        "\nShape (paper Figure 14): NaiveLife worst at every noise level; "
+        "SensorLife's errors scale with noise; BayesLife nearly perfect "
+        "below sigma=0.4 while also sampling less than SensorLife."
+    )
+
+
+if __name__ == "__main__":
+    main()

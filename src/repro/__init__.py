@@ -1,0 +1,54 @@
+"""Uncertain<T>: a first-order type for uncertain data.
+
+A full Python reproduction of Bornholt, Mytkowicz & McKinley (ASPLOS 2014).
+
+The package exposes the paper's primary abstraction, :class:`repro.Uncertain`,
+together with the substrates the paper's evaluation depends on:
+
+- :mod:`repro.dists` — probability distributions represented as sampling
+  functions (Section 3.2 of the paper).
+- :mod:`repro.core` — the uncertain type itself: Bayesian-network
+  construction via operator overloading, ancestral sampling, hypothesis-test
+  conditionals, and prior-based estimate improvement (Sections 3 and 4).
+- :mod:`repro.gps` — the GPS sensor model and GPS-Walking case study
+  (Section 5.1).
+- :mod:`repro.life` — the noisy-sensor Game of Life case study (Section 5.2).
+- :mod:`repro.ml` — the Parakeet Bayesian neural-network case study
+  (Section 5.3).
+- :mod:`repro.ppl` — a small generative probabilistic-programming baseline
+  used for the related-work comparison (Section 6, Figure 17).
+- :mod:`repro.experiments` — drivers that regenerate every figure in the
+  paper's evaluation.
+"""
+
+from repro.core.uncertain import Uncertain, UncertainBool, uncertain
+from repro.core.lifting import apply as apply_lifted
+from repro.core.lifting import lift
+from repro.core.bayes import Prior, posterior
+from repro.core.sprt import (
+    FixedSampleTest,
+    GroupSequentialTest,
+    HypothesisTest,
+    SPRT,
+    TestDecision,
+)
+from repro.core.sampling import SamplingError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Uncertain",
+    "UncertainBool",
+    "uncertain",
+    "lift",
+    "apply_lifted",
+    "Prior",
+    "posterior",
+    "HypothesisTest",
+    "SPRT",
+    "FixedSampleTest",
+    "GroupSequentialTest",
+    "TestDecision",
+    "SamplingError",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""CES-style ``prob<T>`` (Thrun, ICRA 2000) — exact discrete distributions.
+
+CES stores a list of ``(value, probability)`` pairs per variable and
+combines them exactly under arithmetic.  The paper adopts its
+generic-type idea but rejects its representation: it is restricted to
+simple discrete distributions, and — measurably — the support size
+multiplies under every binary operation, so computation blows up where
+sampling functions stay O(1) per sample.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+
+class ProbT:
+    """An exact finite distribution: values with probabilities."""
+
+    def __init__(self, pairs: Iterable[tuple[Any, float]]) -> None:
+        merged: dict[Any, float] = {}
+        total = 0.0
+        for value, p in pairs:
+            if p < 0:
+                raise ValueError(f"negative probability {p} for value {value!r}")
+            if p == 0.0:
+                continue
+            merged[value] = merged.get(value, 0.0) + p
+            total += p
+        if not merged:
+            raise ValueError("prob<T> needs at least one value with mass")
+        self.pairs: dict[Any, float] = {v: p / total for v, p in merged.items()}
+
+    @classmethod
+    def point(cls, value: Any) -> "ProbT":
+        return cls([(value, 1.0)])
+
+    @classmethod
+    def uniform(cls, values: Iterable[Any]) -> "ProbT":
+        values = list(values)
+        return cls([(v, 1.0 / len(values)) for v in values])
+
+    @property
+    def support_size(self) -> int:
+        return len(self.pairs)
+
+    def probability(self, value: Any) -> float:
+        return self.pairs.get(value, 0.0)
+
+    # -- exact combination (the blow-up) -----------------------------------
+
+    def combine(self, other: "ProbT", op: Callable[[Any, Any], Any]) -> "ProbT":
+        """Exact convolution under an arbitrary binary operator.
+
+        Cost (and, generically, support size) is
+        ``support(self) * support(other)``.
+        """
+        return ProbT(
+            (op(a, b), pa * pb)
+            for a, pa in self.pairs.items()
+            for b, pb in other.pairs.items()
+        )
+
+    def __add__(self, other: "ProbT") -> "ProbT":
+        return self.combine(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "ProbT") -> "ProbT":
+        return self.combine(other, lambda a, b: a - b)
+
+    def __mul__(self, other: "ProbT") -> "ProbT":
+        return self.combine(other, lambda a, b: a * b)
+
+    def map(self, fn: Callable[[Any], Any]) -> "ProbT":
+        return ProbT((fn(v), p) for v, p in self.pairs.items())
+
+    # -- queries -------------------------------------------------------------
+
+    def expected_value(self) -> float:
+        return float(sum(v * p for v, p in self.pairs.items()))
+
+    def pr_greater(self, threshold: float) -> float:
+        """Exact evidence Pr[X > t] — CES *can* answer this, for discrete X."""
+        return float(sum(p for v, p in self.pairs.items() if v > threshold))
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        values = list(self.pairs)
+        probs = np.fromiter(self.pairs.values(), dtype=float, count=len(values))
+        return values[rng.choice(len(values), p=probs)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{v!r}: {p:.3g}" for v, p in list(self.pairs.items())[:4])
+        more = "..." if len(self.pairs) > 4 else ""
+        return f"ProbT({{{inner}{more}}})"

@@ -1,0 +1,109 @@
+"""Interval analysis (Moore 1966) — the bounds-only baseline.
+
+An `Interval` propagates guaranteed bounds through arithmetic.  The paper's
+critique (Section 6): "intervals treat all random variables as having
+uniform distributions, an assumption far too limiting" — and, we add,
+interval arithmetic ignores dependence, so ``x - x`` is ``[lo-hi, hi-lo]``
+rather than zero (the *dependency problem*).  The comparison experiment
+measures both failure modes against Uncertain<T>.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A closed interval [lo, hi] with outward-directed arithmetic."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"need lo <= hi, got [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def from_value(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def from_center(cls, center: float, radius: float) -> "Interval":
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return cls(center - radius, center + radius)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _coerce(self, other) -> "Interval":
+        if isinstance(other, Interval):
+            return other
+        return Interval.from_value(float(other))
+
+    def __add__(self, other) -> "Interval":
+        o = self._coerce(other)
+        return Interval(self.lo + o.lo, self.hi + o.hi)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Interval":
+        o = self._coerce(other)
+        return Interval(self.lo - o.hi, self.hi - o.lo)
+
+    def __rsub__(self, other) -> "Interval":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Interval":
+        o = self._coerce(other)
+        products = (self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi)
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Interval":
+        o = self._coerce(other)
+        if o.lo <= 0.0 <= o.hi:
+            raise ZeroDivisionError(f"divisor interval {o} contains zero")
+        return self * Interval(1.0 / o.hi, 1.0 / o.lo)
+
+    def __rtruediv__(self, other) -> "Interval":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __abs__(self) -> "Interval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    # -- comparisons: tri-state, not evidence ---------------------------------
+
+    def definitely_greater(self, threshold: float) -> bool:
+        return self.lo > threshold
+
+    def definitely_less(self, threshold: float) -> bool:
+        return self.hi < threshold
+
+    def possibly_greater(self, threshold: float) -> bool:
+        return self.hi > threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lo:g}, {self.hi:g}]"

@@ -1,0 +1,110 @@
+"""Evaluation configuration for conditionals and expectations.
+
+The implicit conditional (``if speed > 4:``) has no argument position for a
+hypothesis test or RNG, so the runtime carries an ambient
+:class:`EvaluationConfig`.  The :func:`evaluation_config` context manager
+scopes overrides, which the case studies use to instrument sample counts and
+to switch between SPRT / fixed / group-sequential testing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.sprt import HypothesisTest, SPRT
+from repro.rng import default_rng
+
+
+@dataclasses.dataclass
+class EvaluationConfig:
+    """Ambient knobs for evaluating conditionals and expectations.
+
+    Attributes mirror Section 4.3: ``alpha``/``beta`` are the significance
+    level and type-II error bound of the conditional hypothesis tests,
+    ``epsilon`` the half-width of the SPRT indifference region,
+    ``batch_size`` the paper's ``k``, ``max_samples`` the truncation bound,
+    and ``expectation_samples`` the fixed sample size the ``E`` operator
+    uses.
+    """
+
+    alpha: float = 0.05
+    beta: float = 0.05
+    epsilon: float = 0.05
+    batch_size: int = 10
+    max_samples: int = 10_000
+    expectation_samples: int = 1_000
+    rng: np.random.Generator = dataclasses.field(default_factory=default_rng)
+    #: Optional override: a factory building the test for a given threshold.
+    test_factory: "callable | None" = None
+    #: Running count of Bernoulli samples drawn by conditionals (telemetry
+    #: for Figure 14(b)); reset with ``reset_sample_counter``.
+    samples_drawn: int = 0
+    #: Running count of conditionals evaluated.
+    conditionals_evaluated: int = 0
+
+    def make_test(self, threshold: float) -> HypothesisTest:
+        """Construct the hypothesis test for a conditional at ``threshold``."""
+        if self.test_factory is not None:
+            return self.test_factory(threshold)
+        return SPRT(
+            threshold=threshold,
+            alpha=self.alpha,
+            beta=self.beta,
+            epsilon=self.epsilon,
+            batch_size=self.batch_size,
+            max_samples=self.max_samples,
+        )
+
+    def record(self, samples_used: int) -> None:
+        self.samples_drawn += samples_used
+        self.conditionals_evaluated += 1
+
+    def reset_sample_counter(self) -> None:
+        self.samples_drawn = 0
+        self.conditionals_evaluated = 0
+
+
+_active_config = EvaluationConfig()
+
+
+def get_config() -> EvaluationConfig:
+    """The currently active evaluation configuration."""
+    return _active_config
+
+
+def set_config(config: EvaluationConfig) -> EvaluationConfig:
+    """Install ``config`` globally, returning the previous one."""
+    global _active_config
+    previous = _active_config
+    _active_config = config
+    return previous
+
+
+@contextlib.contextmanager
+def evaluation_config(**overrides) -> Iterator[EvaluationConfig]:
+    """Scope an evaluation configuration.
+
+    Example::
+
+        with evaluation_config(alpha=0.01, rng=default_rng(7)) as cfg:
+            if speed > 4:
+                ...
+            print(cfg.samples_drawn)
+    """
+    base = get_config()
+    fields = {
+        f.name: getattr(base, f.name)
+        for f in dataclasses.fields(EvaluationConfig)
+        if f.name not in ("samples_drawn", "conditionals_evaluated")
+    }
+    fields.update(overrides)
+    fresh = EvaluationConfig(**fields)
+    previous = set_config(fresh)
+    try:
+        yield fresh
+    finally:
+        set_config(previous)

@@ -1,0 +1,222 @@
+"""Bayesian-network nodes built by Uncertain<T>'s lifted operators.
+
+The paper represents every computation over uncertain data as a directed
+acyclic graph whose leaves are known distributions and whose inner nodes are
+base-type operations (Section 3.3, Figure 7).  Two design points matter:
+
+1. **Node identity is random-variable identity.**  When the same
+   ``Uncertain`` value appears twice in an expression, both uses reference
+   the *same* node object, so a joint sample assigns it one value.  This is
+   the paper's SSA-like dependence analysis (Figure 8): ``(Y + X) + X`` must
+   share ``X``, not resample it.
+
+2. **Construction is lazy.**  Building a node never draws samples; sampling
+   happens only at conditionals, ``expected_value``, or explicit ``sample``
+   calls (Section 4.2's "much like a JIT" strategy).
+
+Nodes are immutable after construction, so the graph is acyclic by
+construction: a node can only reference previously constructed nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.dists.base import Distribution
+
+_node_ids = itertools.count()
+
+
+class Node:
+    """Abstract node of the computation graph.
+
+    Subclasses implement :meth:`evaluate_batch`, mapping a batch of parent
+    sample-arrays to a batch of this node's samples.  ``parents`` is the
+    tuple of graph predecessors (the variables this one conditionally
+    depends on).
+    """
+
+    __slots__ = ("parents", "label", "uid")
+
+    def __init__(self, parents: Sequence["Node"], label: str) -> None:
+        self.parents: tuple[Node, ...] = tuple(parents)
+        self.label = label
+        self.uid = next(_node_ids)
+
+    def evaluate_batch(
+        self, parent_values: list[np.ndarray], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # Nodes hash/compare by identity; they are graph vertices, not values.
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} #{self.uid} {self.label!r}>"
+
+
+class LeafNode(Node):
+    """A known distribution provided by an expert developer (shaded nodes)."""
+
+    __slots__ = ("dist",)
+
+    def __init__(self, dist: Distribution, label: str | None = None) -> None:
+        super().__init__((), label or type(dist).__name__)
+        self.dist = dist
+
+    def evaluate_batch(self, parent_values, n, rng):
+        return self.dist.sample_n(n, rng)
+
+
+class PointMassNode(Node):
+    """A constant lifted to a degenerate distribution (Table 1's Pointmass)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        super().__init__((), f"pointmass({value!r})")
+        self.value = value
+
+    def evaluate_batch(self, parent_values, n, rng):
+        if isinstance(
+            self.value, (int, float, np.integer, np.floating, bool, np.bool_)
+        ):
+            return np.full(n, self.value)
+        out = np.empty(n, dtype=object)
+        out[:] = [self.value] * n
+        return out
+
+
+class BinaryOpNode(Node):
+    """An inner node applying a binary base-type operator elementwise.
+
+    ``op`` must accept numpy arrays (all the ``operator`` module functions
+    do, including on object-dtype arrays whose elements define the dunder).
+    """
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: Callable[[Any, Any], Any], left: Node, right: Node, symbol: str) -> None:
+        super().__init__((left, right), symbol)
+        self.op = op
+
+    def evaluate_batch(self, parent_values, n, rng):
+        left, right = parent_values
+        return self.op(left, right)
+
+
+class UnaryOpNode(Node):
+    """An inner node applying a unary base-type operator elementwise."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: Callable[[Any], Any], operand: Node, symbol: str) -> None:
+        super().__init__((operand,), symbol)
+        self.op = op
+
+    def evaluate_batch(self, parent_values, n, rng):
+        (operand,) = parent_values
+        return self.op(operand)
+
+
+class ApplyNode(Node):
+    """An inner node applying an arbitrary lifted function.
+
+    With ``vectorized=True`` the function is called once on the parent
+    sample arrays; otherwise it is mapped over individual joint samples,
+    which supports functions of arbitrary Python objects (for example,
+    great-circle distance between two ``GeoCoordinate`` samples).
+    """
+
+    __slots__ = ("fn", "vectorized")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Node],
+        vectorized: bool = False,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(tuple(args), label or getattr(fn, "__name__", "apply"))
+        self.fn = fn
+        self.vectorized = vectorized
+
+    def evaluate_batch(self, parent_values, n, rng):
+        if self.vectorized:
+            return np.asarray(self.fn(*parent_values))
+        first = self.fn(*(vals[0] for vals in parent_values))
+        if isinstance(first, (int, float, np.integer, np.floating, bool, np.bool_)):
+            out = np.empty(n, dtype=type(first) if isinstance(first, (bool, np.bool_)) else float)
+            out[0] = first
+            for i in range(1, n):
+                out[i] = self.fn(*(vals[i] for vals in parent_values))
+            return out
+        out = np.empty(n, dtype=object)
+        out[0] = first
+        for i in range(1, n):
+            out[i] = self.fn(*(vals[i] for vals in parent_values))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Graph inspection utilities (used by tests, docs and the dependence bench).
+# ---------------------------------------------------------------------------
+
+
+def iter_nodes(root: Node):
+    """Yield every node reachable from ``root`` exactly once (post-order)."""
+    seen: set[int] = set()
+    stack: list[tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in seen:
+            continue
+        if expanded:
+            seen.add(id(node))
+            yield node
+        else:
+            stack.append((node, True))
+            for parent in node.parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+
+def node_count(root: Node) -> int:
+    """Number of distinct random variables in the network."""
+    return sum(1 for _ in iter_nodes(root))
+
+
+def leaf_nodes(root: Node) -> list[Node]:
+    """All distinct leaves (known distributions and point masses)."""
+    return [n for n in iter_nodes(root) if not n.parents]
+
+
+def depth(root: Node) -> int:
+    """Longest path from a leaf to ``root`` (leaves have depth 0)."""
+    depths: dict[int, int] = {}
+    for node in iter_nodes(root):
+        if not node.parents:
+            depths[id(node)] = 0
+        else:
+            depths[id(node)] = 1 + max(depths[id(p)] for p in node.parents)
+    return depths[id(root)]
+
+
+def to_networkx(root: Node):
+    """Export the Bayesian network as a ``networkx.DiGraph``.
+
+    Edges point from parents (dependencies) to children (dependents),
+    matching the paper's figures.  Node attributes carry labels and whether
+    the node is a leaf ("shaded" in the figures).
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for node in iter_nodes(root):
+        graph.add_node(
+            node.uid, label=node.label, leaf=not node.parents, kind=type(node).__name__
+        )
+        for parent in node.parents:
+            graph.add_edge(parent.uid, node.uid)
+    return graph

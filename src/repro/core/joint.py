@@ -1,0 +1,108 @@
+"""Expert-specified joint distributions (Section 3.3).
+
+Uncertain<T>'s Bayesian network assumes leaf nodes are independent, "but
+expert developers can override it by specifying the joint distribution
+between two variables."  This module is that override: a *joint leaf* draws
+a single vector sample from a multivariate distribution, and each exposed
+component is a projection of that shared draw.  Because all components hang
+off one underlying node, the per-joint-sample memoisation keeps them
+consistent — exactly the mechanism the planar GPS posterior uses for its
+correlated (east, north) components.
+
+Example::
+
+    from repro.dists import MultivariateGaussian
+
+    temp, humidity = joint(MultivariateGaussian([20, 0.6], cov), ["temp", "rh"])
+    discomfort = temp * 0.4 + humidity * 30.0   # correlation respected
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.graph import LeafNode, Node
+from repro.core.uncertain import Uncertain
+from repro.dists.base import Distribution
+
+
+class ComponentNode(Node):
+    """Projection of one component out of a vector-valued parent node."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, parent: Node, index: int, label: str | None = None) -> None:
+        super().__init__((parent,), label or f"component[{index}]")
+        self.index = int(index)
+
+    def evaluate_batch(self, parent_values, n, rng):
+        (vectors,) = parent_values
+        vectors = np.asarray(vectors)
+        if vectors.ndim < 2:
+            # Object-dtype batches of sequences: project elementwise.
+            out = np.empty(n, dtype=object)
+            for i, vec in enumerate(vectors):
+                out[i] = vec[self.index]
+            try:
+                return out.astype(float)
+            except (TypeError, ValueError):
+                return out
+        if self.index >= vectors.shape[1]:
+            raise IndexError(
+                f"component {self.index} out of range for joint sample of "
+                f"dimension {vectors.shape[1]}"
+            )
+        return vectors[:, self.index]
+
+
+def joint(
+    dist: Distribution, labels: Sequence[str] | int | None = None
+) -> tuple[Uncertain, ...]:
+    """Split a multivariate distribution into correlated Uncertain components.
+
+    ``dist.sample_n`` must return arrays of shape ``(n, d)``.  ``labels``
+    may be the component names, the dimension ``d`` as an int, or ``None``
+    to infer ``d`` from the distribution (``dist.dim`` or one trial draw).
+    All returned components share a single leaf, so a joint sample assigns
+    them one consistent vector draw.
+    """
+    if isinstance(labels, int):
+        dim = labels
+        names = [f"component[{i}]" for i in range(dim)]
+    elif labels is not None:
+        names = list(labels)
+        dim = len(names)
+    else:
+        dim = getattr(dist, "dim", None)
+        if dim is None:
+            from repro.rng import default_rng
+
+            probe = np.asarray(dist.sample_n(1, default_rng(0)))
+            if probe.ndim != 2:
+                raise ValueError(
+                    "joint() needs a vector-valued distribution; got samples "
+                    f"of shape {probe.shape[1:]} — pass `labels` to be explicit"
+                )
+            dim = probe.shape[1]
+        names = [f"component[{i}]" for i in range(dim)]
+    if dim <= 0:
+        raise ValueError(f"joint dimension must be positive, got {dim}")
+    leaf = LeafNode(dist, label=f"joint[{type(dist).__name__}]")
+    return tuple(
+        Uncertain.from_node(ComponentNode(leaf, i, label=name))
+        for i, name in enumerate(names)
+    )
+
+
+def correlated_gaussians(
+    means: Sequence[float],
+    cov: np.ndarray,
+    labels: Sequence[str] | None = None,
+) -> tuple[Uncertain, ...]:
+    """Convenience: jointly Gaussian uncertain values with given covariance."""
+    from repro.dists.gaussian import MultivariateGaussian
+
+    return joint(MultivariateGaussian(np.asarray(means, dtype=float), cov), labels
+                 or len(list(means)))

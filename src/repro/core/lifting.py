@@ -1,0 +1,59 @@
+"""Lifting arbitrary functions over uncertain values (Section 3.3).
+
+A lifted operator may have any type — the paper's example is real division
+of integers, ``Int -> Int -> Double``.  :func:`lift` turns any plain
+function into one over ``Uncertain`` operands; :func:`apply` is the one-shot
+form.  Plain operands are coerced to point masses, exactly as the operator
+overloads do.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.core.graph import ApplyNode
+from repro.core.uncertain import Uncertain, UncertainBool, _as_node
+
+
+def apply(
+    fn: Callable[..., Any],
+    *args: Any,
+    vectorized: bool = False,
+    boolean: bool = False,
+    label: str | None = None,
+) -> Uncertain:
+    """Apply ``fn`` to uncertain (or plain) operands, building a graph node.
+
+    ``vectorized=True`` promises that ``fn`` accepts equal-length numpy
+    arrays and maps elementwise; otherwise ``fn`` is called per joint
+    sample.  ``boolean=True`` marks the result as ``UncertainBool`` so it
+    participates in conditional semantics.
+    """
+    nodes = tuple(_as_node(a) for a in args)
+    node = ApplyNode(fn, nodes, vectorized=vectorized, label=label)
+    cls = UncertainBool if boolean else Uncertain
+    return cls.from_node(node)
+
+
+def lift(
+    fn: Callable[..., Any],
+    vectorized: bool = False,
+    boolean: bool = False,
+) -> Callable[..., Uncertain]:
+    """Return a version of ``fn`` operating over uncertain values.
+
+    Example::
+
+        distance = lift(haversine_m)
+        dist = distance(location_a, location_b)  # Uncertain[float]
+    """
+
+    @functools.wraps(fn)
+    def lifted(*args: Any) -> Uncertain:
+        return apply(
+            fn, *args, vectorized=vectorized, boolean=boolean,
+            label=getattr(fn, "__name__", None),
+        )
+
+    return lifted

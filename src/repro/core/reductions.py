@@ -1,0 +1,108 @@
+"""Lifted reductions over collections of uncertain values.
+
+The paper's SensorLife listing sums eight sensors with a loop of ``+``
+operators; these helpers generalise that pattern (and keep the network
+balanced, which matters for very wide sums: a left-leaning chain of ``+``
+nodes is deep and slow to traverse, a balanced tree is logarithmic).
+
+``umin``/``umax``/``umedian`` are lifted order statistics: per *joint
+sample* they pick the extreme of the operands' values, which is the
+correct distributional semantics (the max of random variables, not the max
+of their means).  They intentionally do **not** impose an order on the
+uncertain values themselves — Section 3.4's ternary logic explains why
+comparisons cannot totally order distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.graph import ApplyNode
+from repro.core.uncertain import Uncertain, _as_node
+
+
+def _nodes(values: Iterable[Any]) -> list:
+    nodes = [_as_node(v) for v in values]
+    if not nodes:
+        raise ValueError("reduction over an empty collection")
+    return nodes
+
+
+def usum(values: Iterable[Any]) -> Uncertain:
+    """Sum of uncertain (or plain) values as one balanced network."""
+    items = [v if isinstance(v, Uncertain) else Uncertain(v) for v in values]
+    if not items:
+        raise ValueError("usum over an empty collection")
+    while len(items) > 1:
+        paired = []
+        for i in range(0, len(items) - 1, 2):
+            paired.append(items[i] + items[i + 1])
+        if len(items) % 2:
+            paired.append(items[-1])
+        items = paired
+    return items[0]
+
+
+def umean(values: Sequence[Any]) -> Uncertain:
+    """Arithmetic mean of uncertain values (a scaled :func:`usum`)."""
+    values = list(values)
+    return usum(values) / len(values)
+
+
+def _order_statistic(values: Iterable[Any], fn, label: str) -> Uncertain:
+    nodes = _nodes(values)
+    return Uncertain.from_node(
+        ApplyNode(
+            lambda *xs: fn(np.stack(xs), axis=0),
+            nodes,
+            vectorized=True,
+            label=label,
+        )
+    )
+
+
+def umin(values: Iterable[Any]) -> Uncertain:
+    """Per-joint-sample minimum of the operands."""
+    return _order_statistic(values, np.min, "umin")
+
+
+def umax(values: Iterable[Any]) -> Uncertain:
+    """Per-joint-sample maximum of the operands."""
+    return _order_statistic(values, np.max, "umax")
+
+
+def umedian(values: Iterable[Any]) -> Uncertain:
+    """Per-joint-sample median of the operands."""
+    return _order_statistic(values, np.median, "umedian")
+
+
+def uall(conditions: Iterable[Any]) -> "Uncertain":
+    """Conjunction of uncertain booleans (balanced ``&`` tree)."""
+    from repro.core.uncertain import UncertainBool
+
+    items = list(conditions)
+    if not items:
+        raise ValueError("uall over an empty collection")
+    result = items[0]
+    for cond in items[1:]:
+        result = result & cond
+    if not isinstance(result, UncertainBool):
+        raise TypeError("uall requires UncertainBool operands")
+    return result
+
+
+def uany(conditions: Iterable[Any]) -> "Uncertain":
+    """Disjunction of uncertain booleans."""
+    from repro.core.uncertain import UncertainBool
+
+    items = list(conditions)
+    if not items:
+        raise ValueError("uany over an empty collection")
+    result = items[0]
+    for cond in items[1:]:
+        result = result | cond
+    if not isinstance(result, UncertainBool):
+        raise TypeError("uany requires UncertainBool operands")
+    return result

@@ -1,0 +1,106 @@
+"""Ancestral sampling over the Bayesian network (Section 4.2).
+
+Because the network is a DAG, its nodes admit a topological order.  We
+evaluate leaves first and propagate values upward, visiting each node exactly
+once per joint sample — the memoisation that makes shared subexpressions
+(Figure 8) statistically correct.
+
+The implementation is batch-first: one evaluation pass computes ``n``
+independent joint samples as numpy arrays, which is what the SPRT's batched
+draws (Section 4.3) consume.  A single sample is a batch of one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.graph import Node
+from repro.rng import ensure_rng
+
+
+class SamplingError(RuntimeError):
+    """Raised when a sampling function misbehaves (wrong shape, NaN policy)."""
+
+
+class SampleContext:
+    """Memo table mapping nodes to their sampled values for one batch.
+
+    A context represents ``n`` joint assignments to every random variable in
+    the network.  Reusing a context across multiple roots (as the Game of
+    Life's four rule conditionals do within one cell update) keeps shared
+    variables consistent between those roots.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator | int | None = None) -> None:
+        if n <= 0:
+            raise ValueError(f"batch size must be positive, got {n}")
+        self.n = int(n)
+        self.rng = ensure_rng(rng)
+        self._memo: dict[int, np.ndarray] = {}
+        # Keep sampled nodes alive: id() keys are only unique while the
+        # corresponding object is; pinning prevents aliasing after GC.
+        self._pins: list[Node] = []
+
+    def __contains__(self, node: Node) -> bool:
+        return id(node) in self._memo
+
+    def value_of(self, node: Node) -> np.ndarray:
+        """Sampled batch for ``node``, evaluating lazily on first access."""
+        key = id(node)
+        if key not in self._memo:
+            self._evaluate(node)
+        return self._memo[key]
+
+    def _evaluate(self, root: Node) -> None:
+        """Iterative post-order evaluation (no recursion-depth limits)."""
+        stack: list[tuple[Node, bool]] = [(root, False)]
+        memo = self._memo
+        while stack:
+            node, expanded = stack.pop()
+            key = id(node)
+            if key in memo:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for parent in node.parents:
+                    if id(parent) not in memo:
+                        stack.append((parent, False))
+            else:
+                parent_values = [memo[id(p)] for p in node.parents]
+                values = node.evaluate_batch(parent_values, self.n, self.rng)
+                values = np.asarray(values)
+                if values.shape[:1] != (self.n,):
+                    raise SamplingError(
+                        f"node {node!r} produced batch of shape {values.shape}, "
+                        f"expected leading dimension {self.n}"
+                    )
+                memo[key] = values
+                self._pins.append(node)
+
+
+def sample_batch(
+    root: Node, n: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Draw ``n`` independent joint samples of ``root``."""
+    return SampleContext(n, rng).value_of(root)
+
+
+def sample_once(root: Node, rng: np.random.Generator | int | None = None) -> Any:
+    """Draw a single joint sample of ``root``."""
+    return sample_batch(root, 1, rng)[0]
+
+
+def bernoulli_sampler(root: Node, rng: np.random.Generator):
+    """Adapt a boolean-valued node into the draw-k callable the tests use.
+
+    Each call draws a fresh batch of joint samples — exactly the repeated
+    batched sampling loop of Section 4.3.
+    """
+
+    def draw(k: int) -> np.ndarray:
+        values = sample_batch(root, k, rng)
+        return np.asarray(values, dtype=bool)
+
+    return draw

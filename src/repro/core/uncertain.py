@@ -1,0 +1,372 @@
+"""The ``Uncertain[T]`` type (Table 1 of the paper).
+
+An ``Uncertain`` value encapsulates a random variable.  Its overloaded
+operators construct Bayesian-network representations of computations instead
+of executing them; the runtime samples those networks lazily at conditional
+expressions, ``expected_value`` calls, and explicit ``sample`` requests.
+
+Comparison operators return :class:`UncertainBool` — a Bernoulli random
+variable whose parameter is the *evidence* for the comparison.  Using an
+``UncertainBool`` where Python needs a concrete truth value (an ``if``)
+triggers the implicit conditional: a hypothesis test of whether the evidence
+exceeds 0.5 (Section 3.4).  The explicit conditional ``.pr(alpha)`` tests a
+developer-chosen evidence threshold, which is how applications trade false
+positives against false negatives.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import conditionals as _cond
+from repro.core.graph import (
+    ApplyNode,
+    BinaryOpNode,
+    LeafNode,
+    Node,
+    PointMassNode,
+    UnaryOpNode,
+)
+from repro.core.sampling import SampleContext, bernoulli_sampler, sample_batch
+from repro.core.sprt import HypothesisTest, TestResult
+from repro.dists.base import Distribution
+from repro.dists.empirical import Empirical
+from repro.dists.sampling_function import FunctionDistribution
+from repro.rng import ensure_rng
+
+
+def _as_node(value: Any) -> Node:
+    """Coerce an operand into a graph node (Table 1's point-mass lifting)."""
+    if isinstance(value, Uncertain):
+        return value.node
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, Distribution):
+        return LeafNode(value)
+    return PointMassNode(value)
+
+
+class Uncertain:
+    """A random variable of base type ``T``, represented by a sampling DAG."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, source: Any, label: str | None = None) -> None:
+        """Wrap ``source`` as an uncertain value.
+
+        ``source`` may be a :class:`~repro.dists.base.Distribution`, a
+        zero-argument-style sampling function ``fn(rng) -> sample``, an
+        existing graph :class:`Node`, or a plain value (lifted to a point
+        mass).
+        """
+        if isinstance(source, Node):
+            node = source
+        elif isinstance(source, Distribution):
+            node = LeafNode(source, label)
+        elif isinstance(source, Uncertain):
+            node = source.node
+        elif callable(source):
+            node = LeafNode(FunctionDistribution(source), label or "sampling_fn")
+        else:
+            node = PointMassNode(source)
+        object.__setattr__(self, "node", node)
+
+    @classmethod
+    def from_node(cls, node: Node) -> "Uncertain":
+        out = object.__new__(cls)
+        object.__setattr__(out, "node", node)
+        return out
+
+    @classmethod
+    def pointmass(cls, value: Any) -> "Uncertain":
+        """Table 1's ``Pointmass :: T -> U T``."""
+        return cls.from_node(PointMassNode(value))
+
+    # -- graph construction: arithmetic -----------------------------------
+
+    def _binary(self, other: Any, op, symbol: str, reflected: bool = False):
+        if reflected:
+            left, right = _as_node(other), self.node
+        else:
+            left, right = self.node, _as_node(other)
+        return Uncertain.from_node(BinaryOpNode(op, left, right, symbol))
+
+    def _compare(self, other: Any, op, symbol: str) -> "UncertainBool":
+        node = BinaryOpNode(op, self.node, _as_node(other), symbol)
+        return UncertainBool.from_node(node)
+
+    def __add__(self, other):
+        return self._binary(other, operator.add, "+")
+
+    def __radd__(self, other):
+        return self._binary(other, operator.add, "+", reflected=True)
+
+    def __sub__(self, other):
+        return self._binary(other, operator.sub, "-")
+
+    def __rsub__(self, other):
+        return self._binary(other, operator.sub, "-", reflected=True)
+
+    def __mul__(self, other):
+        return self._binary(other, operator.mul, "*")
+
+    def __rmul__(self, other):
+        return self._binary(other, operator.mul, "*", reflected=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, operator.truediv, "/")
+
+    def __rtruediv__(self, other):
+        return self._binary(other, operator.truediv, "/", reflected=True)
+
+    def __floordiv__(self, other):
+        return self._binary(other, operator.floordiv, "//")
+
+    def __rfloordiv__(self, other):
+        return self._binary(other, operator.floordiv, "//", reflected=True)
+
+    def __mod__(self, other):
+        return self._binary(other, operator.mod, "%")
+
+    def __rmod__(self, other):
+        return self._binary(other, operator.mod, "%", reflected=True)
+
+    def __pow__(self, other):
+        return self._binary(other, operator.pow, "**")
+
+    def __rpow__(self, other):
+        return self._binary(other, operator.pow, "**", reflected=True)
+
+    def __neg__(self):
+        return Uncertain.from_node(UnaryOpNode(operator.neg, self.node, "neg"))
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        return Uncertain.from_node(UnaryOpNode(np.abs, self.node, "abs"))
+
+    def map(self, fn: Callable[[Any], Any], vectorized: bool = False,
+            label: str | None = None) -> "Uncertain":
+        """Lift a unary function over this variable."""
+        return Uncertain.from_node(
+            ApplyNode(fn, (self.node,), vectorized=vectorized, label=label)
+        )
+
+    # -- graph construction: comparisons (Order :: U T -> U T -> U Bool) --
+
+    def __lt__(self, other):
+        return self._compare(other, operator.lt, "<")
+
+    def __le__(self, other):
+        return self._compare(other, operator.le, "<=")
+
+    def __gt__(self, other):
+        return self._compare(other, operator.gt, ">")
+
+    def __ge__(self, other):
+        return self._compare(other, operator.ge, ">=")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(other, operator.eq, "==")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare(other, operator.ne, "!=")
+
+    __hash__ = object.__hash__  # identity semantics; == builds a graph node
+
+    def between(self, low: Any, high: Any) -> "UncertainBool":
+        """Evidence that ``low <= self <= high`` (one joint network)."""
+        return (low <= self) & (self <= high)
+
+    # -- evaluation --------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "an Uncertain value has no direct truth value; compare it "
+            "(e.g. `speed > 4`) to obtain evidence, then branch on that"
+        )
+
+    def sample(self, rng: np.random.Generator | int | None = None) -> Any:
+        """Draw one joint sample of the computation."""
+        rng = self._resolve_rng(rng)
+        return sample_batch(self.node, 1, rng)[0]
+
+    def samples(self, n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw ``n`` independent joint samples."""
+        rng = self._resolve_rng(rng)
+        return sample_batch(self.node, n, rng)
+
+    def sample_with(self, context: SampleContext) -> np.ndarray:
+        """Sample under a shared :class:`SampleContext` (shared leaves stay
+        consistent across multiple roots)."""
+        return context.value_of(self.node)
+
+    def expected_value(
+        self,
+        n: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> Any:
+        """Table 1's ``E :: U T -> T`` — sample mean over ``n`` draws.
+
+        The paper's implementation draws a fixed number of samples; ``n``
+        defaults to the ambient configuration's ``expectation_samples``.
+        For an adaptive version see
+        :func:`repro.core.expectation.expected_value_adaptive`.
+        """
+        from repro.core.expectation import expected_value as _expected
+
+        return _expected(self, n=n, rng=rng)
+
+    # C#-flavoured alias used throughout the paper's listings.
+    def E(self, n: int | None = None, rng=None) -> Any:  # noqa: N802
+        return self.expected_value(n=n, rng=rng)
+
+    def sd(self, n: int = 1_000, rng=None) -> float:
+        """Monte-Carlo standard deviation estimate."""
+        return float(np.std(np.asarray(self.samples(n, rng), dtype=float)))
+
+    def var(self, n: int = 1_000, rng=None) -> float:
+        """Monte-Carlo variance estimate."""
+        return float(np.var(np.asarray(self.samples(n, rng), dtype=float)))
+
+    def ci(self, level: float = 0.95, n: int = 10_000, rng=None) -> tuple[float, float]:
+        """Central credible interval estimated from ``n`` samples."""
+        if not 0 < level < 1:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        values = np.asarray(self.samples(n, rng), dtype=float)
+        tail = (1.0 - level) / 2.0
+        return (
+            float(np.quantile(values, tail)),
+            float(np.quantile(values, 1.0 - tail)),
+        )
+
+    def histogram(
+        self, bins: int = 50, n: int = 10_000, rng=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Density histogram of ``n`` samples (counts normalised)."""
+        values = np.asarray(self.samples(n, rng), dtype=float)
+        return np.histogram(values, bins=bins, density=True)
+
+    def given(self, evidence: "UncertainBool", **kwargs) -> "Uncertain":
+        """Conditional distribution given uncertain evidence: ``x.given(x > 0)``.
+
+        The evidence may share variables with this value; joint samples are
+        drawn under a shared context and rejected where the evidence fails.
+        See :func:`repro.core.conditioning.condition` for the knobs.
+        """
+        from repro.core.conditioning import condition
+
+        return condition(self, evidence, **kwargs)
+
+    def to_empirical(self, n: int = 10_000, rng=None) -> "Uncertain":
+        """Freeze this computation into a fixed-pool empirical leaf.
+
+        Useful to amortise an expensive network across many downstream
+        conditionals — the fixed-pool strategy Parakeet uses for its HMC
+        posterior (Section 5.3).
+        """
+        return Uncertain(Empirical(self.samples(n, rng)))
+
+    @staticmethod
+    def _resolve_rng(rng) -> np.random.Generator:
+        if rng is None:
+            return _cond.get_config().rng
+        return ensure_rng(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.core.graph import node_count
+
+        return f"Uncertain(nodes={node_count(self.node)}, root={self.node.label!r})"
+
+
+class UncertainBool(Uncertain):
+    """``Uncertain[bool]`` — a Bernoulli whose parameter is evidence.
+
+    Logical operators follow Table 1 (``and``/``or``/``not`` lift to the
+    network); truth-value conversion runs the implicit conditional.
+    """
+
+    __slots__ = ()
+
+    # -- logical algebra ----------------------------------------------------
+
+    def _logical(self, other: Any, op, symbol: str) -> "UncertainBool":
+        node = BinaryOpNode(op, self.node, _as_node(other), symbol)
+        return UncertainBool.from_node(node)
+
+    def __and__(self, other):
+        return self._logical(other, np.logical_and, "and")
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        return self._logical(other, np.logical_or, "or")
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        return self._logical(other, np.logical_xor, "xor")
+
+    __rxor__ = __xor__
+
+    def __invert__(self):
+        return UncertainBool.from_node(
+            UnaryOpNode(np.logical_not, self.node, "not")
+        )
+
+    # -- conditional semantics ----------------------------------------------
+
+    def __bool__(self) -> bool:
+        """Implicit conditional: is it more likely than not to be true?
+
+        Runs the ambient hypothesis test of H0: Pr[cond] <= 0.5 against
+        HA: Pr[cond] > 0.5.  An inconclusive test (max samples hit inside
+        the indifference region) returns ``False`` — the paper's ternary
+        logic.
+        """
+        return self.pr(0.5)
+
+    def pr(
+        self,
+        threshold: float = 0.5,
+        rng: np.random.Generator | int | None = None,
+    ) -> bool:
+        """Explicit conditional: evidence exceeds ``threshold``?
+
+        ``(speed < 4).pr(0.9)`` asks for at least 90% evidence, trading
+        false positives for false negatives as Section 3.4 describes.
+        """
+        return self.test(threshold, rng=rng).decision.as_bool()
+
+    def test(
+        self,
+        threshold: float = 0.5,
+        test: HypothesisTest | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> TestResult:
+        """Run the conditional's hypothesis test, returning diagnostics."""
+        config = _cond.get_config()
+        if test is None:
+            test = config.make_test(threshold)
+        rng = self._resolve_rng(rng)
+        result = test.run(bernoulli_sampler(self.node, rng))
+        config.record(result.samples_used)
+        return result
+
+    def evidence(self, n: int = 10_000, rng=None) -> float:
+        """Direct Monte-Carlo estimate of Pr[condition] from ``n`` samples.
+
+        This is the quantity the hypothesis tests reason about; exposing it
+        supports plotting figures like the paper's Figure 9.
+        """
+        values = np.asarray(self.samples(n, rng), dtype=bool)
+        return float(values.mean())
+
+
+def uncertain(source: Any, label: str | None = None) -> Uncertain:
+    """Convenience constructor: ``uncertain(Gaussian(0, 1))``."""
+    return Uncertain(source, label=label)

@@ -1,0 +1,82 @@
+"""Bayesian-network inspection: pretty-printing and DOT export.
+
+Debugging aids for the graphs that lifted operators build (Figures 7-8).
+``describe`` renders an indented tree (shared nodes are printed once and
+referenced thereafter, making dependence visible); ``to_dot`` emits
+Graphviz source with leaves shaded, matching the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import Node, iter_nodes
+
+
+def _unwrap(value) -> Node:
+    node = getattr(value, "node", value)
+    if not isinstance(node, Node):
+        raise TypeError(f"expected an Uncertain or Node, got {type(value).__name__}")
+    return node
+
+
+def describe(value, max_depth: int = 20) -> str:
+    """Indented tree rendering of a computation's Bayesian network.
+
+    Shared nodes appear in full once; later occurrences render as
+    ``@shared #uid`` so that Figure 8-style dependence is visible::
+
+        + #7
+          + #5
+            Gaussian #3 (leaf)
+            Gaussian #4 (leaf)
+          @shared #4
+    """
+    root = _unwrap(value)
+    seen: set[int] = set()
+    lines: list[str] = []
+
+    def walk(node: Node, depth: int) -> None:
+        indent = "  " * depth
+        if depth > max_depth:
+            lines.append(f"{indent}... (max depth reached)")
+            return
+        if node.uid in seen:
+            lines.append(f"{indent}@shared #{node.uid}")
+            return
+        seen.add(node.uid)
+        suffix = " (leaf)" if not node.parents else ""
+        lines.append(f"{indent}{node.label} #{node.uid}{suffix}")
+        for parent in node.parents:
+            walk(parent, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def to_dot(value, graph_name: str = "uncertain") -> str:
+    """Graphviz DOT source for the network; leaves are shaded as in the
+    paper's figures, edges point from dependencies to dependents."""
+    root = _unwrap(value)
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+    for node in iter_nodes(root):
+        shape = "ellipse"
+        style = ', style=filled, fillcolor="gray85"' if not node.parents else ""
+        label = node.label.replace('"', "'")
+        lines.append(f'  n{node.uid} [label="{label}", shape={shape}{style}];')
+    for node in iter_nodes(root):
+        for parent in node.parents:
+            lines.append(f"  n{parent.uid} -> n{node.uid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summary(value) -> dict:
+    """Structural statistics of a network (used in logs and tests)."""
+    from repro.core.graph import depth, leaf_nodes, node_count
+
+    root = _unwrap(value)
+    return {
+        "nodes": node_count(root),
+        "leaves": len(leaf_nodes(root)),
+        "depth": depth(root),
+        "root": root.label,
+    }

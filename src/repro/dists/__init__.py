@@ -1,0 +1,64 @@
+"""Probability distributions represented as sampling functions.
+
+Section 3.2 of the paper argues that exact density algebra is impractical
+under computation and that many real error models have no closed form, so
+Uncertain<T> represents every distribution through an *approximate sampling
+function*: a zero-argument procedure that returns a fresh random draw on each
+invocation (Park et al., POPL 2005).
+
+This package is the expert-developer substrate: each class couples a
+vectorised sampling function with whatever analytic structure the
+distribution has (density, CDF, moments), because priors (Section 3.5) and
+the BayesLife case study (Section 5.2) need densities as well as samples.
+"""
+
+from repro.dists.base import Distribution, Support
+from repro.dists.gaussian import Gaussian, MultivariateGaussian, TruncatedGaussian
+from repro.dists.uniform import DiscreteUniform, Uniform
+from repro.dists.bernoulli import Bernoulli, Binomial
+from repro.dists.rayleigh import Rayleigh
+from repro.dists.exponential import Exponential, Gamma
+from repro.dists.beta import Beta
+from repro.dists.poisson import Poisson
+from repro.dists.categorical import Categorical, PointMass
+from repro.dists.triangular import Triangular
+from repro.dists.lognormal import LogNormal
+from repro.dists.studentt import StudentT
+from repro.dists.empirical import Empirical
+from repro.dists.mixture import Mixture
+from repro.dists.kde import KernelDensity
+from repro.dists.sampling_function import FunctionDistribution
+from repro.dists.weibull import Weibull
+from repro.dists.laplace import Laplace
+from repro.dists.cauchy import Cauchy
+from repro.dists.vonmises import VonMises
+
+__all__ = [
+    "Distribution",
+    "Support",
+    "Gaussian",
+    "TruncatedGaussian",
+    "MultivariateGaussian",
+    "Uniform",
+    "DiscreteUniform",
+    "Bernoulli",
+    "Binomial",
+    "Rayleigh",
+    "Exponential",
+    "Gamma",
+    "Beta",
+    "Poisson",
+    "Categorical",
+    "PointMass",
+    "Triangular",
+    "LogNormal",
+    "StudentT",
+    "Empirical",
+    "Mixture",
+    "KernelDensity",
+    "FunctionDistribution",
+    "Weibull",
+    "Laplace",
+    "Cauchy",
+    "VonMises",
+]

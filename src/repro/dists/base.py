@@ -1,0 +1,100 @@
+"""Base class for distributions backed by sampling functions."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+from typing import Any
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Support:
+    """Closed support interval of a scalar distribution.
+
+    Infinite endpoints use ``±math.inf``.  Discrete distributions report the
+    smallest interval containing their support.
+    """
+
+    lower: float
+    upper: float
+
+    def contains(self, x: float) -> bool:
+        return self.lower <= x <= self.upper
+
+    @property
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.lower) and math.isfinite(self.upper)
+
+
+REAL_LINE = Support(-math.inf, math.inf)
+NON_NEGATIVE = Support(0.0, math.inf)
+UNIT_INTERVAL = Support(0.0, 1.0)
+
+
+class Distribution(abc.ABC):
+    """A random variable represented by a sampling function.
+
+    Subclasses must implement :meth:`sample_n`; everything else has sensible
+    defaults.  Analytic structure (``pdf``, ``cdf``, ``mean``, ``variance``)
+    is optional — distributions without closed forms raise
+    ``NotImplementedError`` from the corresponding accessor, matching the
+    paper's observation that sampling functions are the only universally
+    available representation.
+    """
+
+    #: True when the distribution takes values on a countable set.
+    discrete: bool = False
+
+    @abc.abstractmethod
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` independent samples as a numpy array."""
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw a single sample (scalar for scalar distributions)."""
+        return self.sample_n(1, rng)[0]
+
+    # -- analytic structure ------------------------------------------------
+
+    def pdf(self, x: Any) -> Any:
+        """Density (or mass, for discrete distributions) at ``x``."""
+        return np.exp(self.log_pdf(x))
+
+    def log_pdf(self, x: Any) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form density"
+        )
+
+    def cdf(self, x: Any) -> Any:
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form CDF")
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form mean")
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form variance"
+        )
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def support(self) -> Support:
+        return REAL_LINE
+
+    # -- convenience -------------------------------------------------------
+
+    def empirical_mean(self, n: int, rng: np.random.Generator) -> float:
+        """Monte-Carlo estimate of the mean from ``n`` samples."""
+        return float(np.mean(self.sample_n(n, rng)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = getattr(self, "__dict__", {})
+        inner = ", ".join(f"{k}={v!r}" for k, v in fields.items() if not k.startswith("_"))
+        return f"{type(self).__name__}({inner})"

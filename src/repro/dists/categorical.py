@@ -1,0 +1,116 @@
+"""Categorical and point-mass distributions.
+
+Point masses implement the paper's coercion rule: a plain value ``x`` of base
+type ``T`` used in an Uncertain computation becomes ``Pointmass :: T -> U T``
+(Table 1), a distribution all of whose samples equal ``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.dists.base import Distribution, Support
+
+
+def _values_array(values: Sequence[Any]) -> np.ndarray:
+    """Pack sample values, preserving arbitrary Python objects when needed."""
+    arr = np.asarray(values)
+    if arr.dtype == object or arr.ndim != 1:
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = v
+    return arr
+
+
+class Categorical(Distribution):
+    """Finite discrete distribution over arbitrary values.
+
+    This is the representation used by CES-style ``prob<T>`` types that the
+    related-work section contrasts with sampling functions; here it is just
+    one distribution among many.
+    """
+
+    discrete = True
+
+    def __init__(self, values: Sequence[Any], probs: Sequence[float]) -> None:
+        if len(values) == 0:
+            raise ValueError("Categorical needs at least one value")
+        if len(values) != len(probs):
+            raise ValueError("values and probs must have equal length")
+        probs_arr = np.asarray(probs, dtype=float)
+        if np.any(probs_arr < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probs_arr.sum()
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        self.values = _values_array(values)
+        self.probs = probs_arr / total
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = rng.choice(len(self.values), size=n, p=self.probs)
+        return self.values[idx]
+
+    def log_pdf(self, x):
+        x = np.asarray(x)
+        out = np.full(x.shape, -np.inf, dtype=float)
+        for value, p in zip(self.values, self.probs):
+            if p > 0:
+                out = np.where(x == value, np.log(p), out)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.values.astype(float), self.probs))
+
+    @property
+    def variance(self) -> float:
+        vals = self.values.astype(float)
+        m = float(np.dot(vals, self.probs))
+        return float(np.dot((vals - m) ** 2, self.probs))
+
+    @property
+    def support(self) -> Support:
+        try:
+            vals = self.values.astype(float)
+        except (TypeError, ValueError):
+            raise NotImplementedError("non-numeric categorical has no interval support")
+        return Support(float(vals.min()), float(vals.max()))
+
+
+class PointMass(Distribution):
+    """Degenerate distribution concentrated on a single value."""
+
+    discrete = True
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if isinstance(self.value, (int, float, np.integer, np.floating, bool, np.bool_)):
+            return np.full(n, self.value)
+        out = np.empty(n, dtype=object)
+        out[:] = [self.value] * n
+        return out
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.value
+
+    def log_pdf(self, x):
+        x = np.asarray(x)
+        with np.errstate(divide="ignore"):
+            return np.where(x == self.value, 0.0, -np.inf)
+
+    @property
+    def mean(self):
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    @property
+    def support(self) -> Support:
+        v = float(self.value)
+        return Support(v, v)

@@ -1,0 +1,51 @@
+"""Cauchy distribution — a pathological stress case for sampling runtimes.
+
+The Cauchy has no mean or variance, which makes it an excellent failure
+probe: the expected-value operator must not silently pretend to converge,
+and conditionals must still work (evidence is always well defined).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import Distribution, REAL_LINE, Support
+
+
+class Cauchy(Distribution):
+    """Cauchy(loc, scale)."""
+
+    def __init__(self, loc: float = 0.0, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.loc = float(loc)
+        self.scale = float(scale)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.loc + self.scale * rng.standard_cauchy(size=n)
+
+    def log_pdf(self, x):
+        z = (np.asarray(x, dtype=float) - self.loc) / self.scale
+        return -np.log1p(z * z) - math.log(math.pi * self.scale)
+
+    def cdf(self, x):
+        z = (np.asarray(x, dtype=float) - self.loc) / self.scale
+        return 0.5 + np.arctan(z) / math.pi
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError("the Cauchy distribution has no mean")
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError("the Cauchy distribution has no variance")
+
+    @property
+    def median(self) -> float:
+        return self.loc
+
+    @property
+    def support(self) -> Support:
+        return REAL_LINE

@@ -1,0 +1,57 @@
+"""Empirical distribution over a fixed pool of samples.
+
+Parakeet (Section 5.3) runs hybrid Monte Carlo offline and keeps a fixed
+pool of posterior samples; at runtime the sampling function resamples that
+pool.  This class is that mechanism, generalised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.dists.base import Distribution, Support
+
+
+class Empirical(Distribution):
+    """Uniform resampling from a fixed pool of observed values."""
+
+    discrete = True
+
+    def __init__(self, pool: Sequence[Any]) -> None:
+        if len(pool) == 0:
+            raise ValueError("Empirical needs a non-empty sample pool")
+        arr = np.asarray(pool)
+        if arr.dtype == object and arr.ndim != 1:
+            raise ValueError("object pools must be one-dimensional")
+        self.pool = arr
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = rng.integers(0, len(self.pool), size=n)
+        return self.pool[idx]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        pool = np.sort(self.pool.astype(float))
+        return np.searchsorted(pool, x, side="right") / len(pool)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the pool."""
+        return float(np.quantile(self.pool.astype(float), q))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.pool.astype(float)))
+
+    @property
+    def variance(self) -> float:
+        return float(np.var(self.pool.astype(float)))
+
+    @property
+    def support(self) -> Support:
+        vals = self.pool.astype(float)
+        return Support(float(vals.min()), float(vals.max()))

@@ -1,0 +1,43 @@
+"""Laplace (double-exponential) distribution — heavy-ish tailed noise."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import Distribution, REAL_LINE, Support
+
+
+class Laplace(Distribution):
+    """Laplace(mu, b): density (1/2b) exp(-|x - mu| / b)."""
+
+    def __init__(self, mu: float, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.mu = float(mu)
+        self.scale = float(scale)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.laplace(self.mu, self.scale, size=n)
+
+    def log_pdf(self, x):
+        z = np.abs(np.asarray(x, dtype=float) - self.mu) / self.scale
+        return -z - math.log(2.0 * self.scale)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / self.scale
+        return np.where(z < 0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return 2.0 * self.scale**2
+
+    @property
+    def support(self) -> Support:
+        return REAL_LINE

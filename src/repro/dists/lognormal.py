@@ -1,0 +1,56 @@
+"""Log-normal distribution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import Distribution, NON_NEGATIVE, Support
+
+
+class LogNormal(Distribution):
+    """LogNormal(mu, sigma): exp of a Gaussian; a common positive error model."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(x) - self.mu) / self.sigma
+            lp = (
+                -0.5 * z * z
+                - np.log(x)
+                - math.log(self.sigma)
+                - 0.5 * math.log(2 * math.pi)
+            )
+        return np.where(x > 0, lp, -np.inf)
+
+    def cdf(self, x):
+        from scipy.special import erf
+
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(x) - self.mu) / (self.sigma * math.sqrt(2))
+            c = 0.5 * (1 + erf(z))
+        return np.where(x > 0, c, 0.0)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1) * math.exp(2 * self.mu + s2)
+
+    @property
+    def support(self) -> Support:
+        return NON_NEGATIVE

@@ -1,0 +1,80 @@
+"""Finite mixture of component distributions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dists.base import Distribution, Support
+
+
+class Mixture(Distribution):
+    """Mixture of ``components`` with mixing ``weights``.
+
+    Used by the road-snapping prior (Figure 10): location mass concentrates
+    on roads with a diffuse off-road component.
+    """
+
+    def __init__(
+        self, components: Sequence[Distribution], weights: Sequence[float]
+    ) -> None:
+        if len(components) == 0:
+            raise ValueError("Mixture needs at least one component")
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have equal length")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+        self.components = list(components)
+        self.weights = w / w.sum()
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        counts = rng.multinomial(n, self.weights)
+        parts = [
+            comp.sample_n(count, rng)
+            for comp, count in zip(self.components, counts)
+            if count > 0
+        ]
+        out = np.concatenate(parts)
+        rng.shuffle(out)
+        return out
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        parts = np.stack(
+            [np.log(w) + c.log_pdf(x) for c, w in zip(self.components, self.weights)]
+        )
+        # logsumexp across components, guarding all -inf columns.
+        mx = np.max(parts, axis=0)
+        safe_mx = np.where(np.isfinite(mx), mx, 0.0)
+        out = safe_mx + np.log(np.sum(np.exp(parts - safe_mx), axis=0))
+        return np.where(np.isfinite(mx), out, -np.inf)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return sum(
+            w * c.cdf(x) for c, w in zip(self.components, self.weights)
+        )
+
+    @property
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean for c, w in zip(self.components, self.weights))
+        )
+
+    @property
+    def variance(self) -> float:
+        m = self.mean
+        second = sum(
+            w * (c.variance + c.mean**2)
+            for c, w in zip(self.components, self.weights)
+        )
+        return float(second - m**2)
+
+    @property
+    def support(self) -> Support:
+        supports = [c.support for c in self.components]
+        return Support(
+            min(s.lower for s in supports), max(s.upper for s in supports)
+        )

@@ -1,0 +1,68 @@
+"""Rayleigh distribution — the GPS error model of Section 4.1.
+
+The paper derives the posterior for a GPS fix as
+
+    Pr[Location = p | GPS = Sample] = Rayleigh(|Sample - p|; eps / sqrt(ln 400))
+
+where ``eps`` is the sensor's reported 95% confidence radius ("horizontal
+accuracy").  The ``sqrt(ln 400)`` factor converts the 95% radius into the
+Rayleigh scale parameter: for Rayleigh(rho), Pr[X <= r] = 1 - exp(-r^2/2rho^2),
+and solving Pr[X <= eps] = 0.95 gives rho = eps / sqrt(-2 ln 0.05)
+= eps / sqrt(2 ln 20) = eps / sqrt(ln 400).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import Distribution, NON_NEGATIVE, Support
+
+#: Conversion from a 95% confidence radius to the Rayleigh scale rho.
+SCALE_FROM_95CI = 1.0 / math.sqrt(math.log(400.0))
+
+
+class Rayleigh(Distribution):
+    """Rayleigh(rho) over non-negative reals.
+
+    Density: f(x; rho) = (x / rho^2) exp(-x^2 / 2 rho^2), x >= 0.
+    """
+
+    def __init__(self, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    @classmethod
+    def from_95ci(cls, epsilon: float) -> "Rayleigh":
+        """Build from a 95% confidence radius, as GPS sensors report it."""
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        return cls(epsilon * SCALE_FROM_95CI)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.rayleigh(self.scale, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        rho2 = self.scale**2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lp = np.log(x) - math.log(rho2) - x**2 / (2 * rho2)
+        return np.where(x >= 0, lp, -np.inf)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, 1.0 - np.exp(-(x**2) / (2 * self.scale**2)), 0.0)
+
+    @property
+    def mean(self) -> float:
+        return self.scale * math.sqrt(math.pi / 2.0)
+
+    @property
+    def variance(self) -> float:
+        return (2.0 - math.pi / 2.0) * self.scale**2
+
+    @property
+    def support(self) -> Support:
+        return NON_NEGATIVE

@@ -1,0 +1,64 @@
+"""Wrap an arbitrary user-provided sampling function as a Distribution.
+
+This is the paper's extension point for expert developers (Section 4.1):
+"`The expert developer ... derives the correct distribution and provides it
+to Uncertain<T> as a sampling function`".  BayesLife's corrected sensor
+(Section 5.2) is implemented exactly this way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.dists.base import Distribution
+
+
+class FunctionDistribution(Distribution):
+    """Distribution defined by ``fn(rng) -> sample``.
+
+    Optionally accepts a vectorised ``fn_n(n, rng) -> ndarray`` for speed and
+    a ``log_pdf`` callable when the expert also knows the density.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.random.Generator], Any],
+        fn_n: Callable[[int, np.random.Generator], np.ndarray] | None = None,
+        log_pdf: Callable[[Any], Any] | None = None,
+        discrete: bool = False,
+    ) -> None:
+        self._fn = fn
+        self._fn_n = fn_n
+        self._log_pdf = log_pdf
+        self.discrete = discrete
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self._fn(rng)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self._fn_n is not None:
+            out = np.asarray(self._fn_n(n, rng))
+            if out.shape[0] != n:
+                raise ValueError(
+                    f"vectorised sampling function returned {out.shape[0]} samples, wanted {n}"
+                )
+            return out
+        first = self._fn(rng)
+        if isinstance(first, (int, float, np.integer, np.floating, bool, np.bool_)):
+            out = np.empty(n, dtype=float)
+            out[0] = first
+            for i in range(1, n):
+                out[i] = self._fn(rng)
+            return out
+        out = np.empty(n, dtype=object)
+        out[0] = first
+        for i in range(1, n):
+            out[i] = self._fn(rng)
+        return out
+
+    def log_pdf(self, x):
+        if self._log_pdf is None:
+            raise NotImplementedError("no density was provided for this sampling function")
+        return self._log_pdf(x)

@@ -1,0 +1,66 @@
+"""Triangular distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dists.base import Distribution, Support
+
+
+class Triangular(Distribution):
+    """Triangular(low, mode, high) — a simple bounded, peaked prior shape."""
+
+    def __init__(self, low: float, mode: float, high: float) -> None:
+        if not low <= mode <= high or low == high:
+            raise ValueError(f"need low <= mode <= high with low < high, got {low}, {mode}, {high}")
+        self.low = float(low)
+        self.mode = float(mode)
+        self.high = float(high)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.triangular(self.low, self.mode, self.high, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        lo, m, hi = self.low, self.mode, self.high
+        span = hi - lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left = 2 * (x - lo) / (span * (m - lo)) if m > lo else None
+            right = 2 * (hi - x) / (span * (hi - m)) if hi > m else None
+        pdf = np.zeros_like(x)
+        if left is not None:
+            pdf = np.where((x >= lo) & (x < m), left, pdf)
+        if right is not None:
+            pdf = np.where((x >= m) & (x <= hi), right, pdf)
+        if m == lo:
+            pdf = np.where(x == lo, 2.0 / span, pdf)
+        if m == hi:
+            pdf = np.where(x == hi, 2.0 / span, pdf)
+        with np.errstate(divide="ignore"):
+            return np.log(pdf)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        lo, m, hi = self.low, self.mode, self.high
+        span = hi - lo
+        out = np.zeros_like(x)
+        if m > lo:
+            out = np.where((x > lo) & (x <= m), (x - lo) ** 2 / (span * (m - lo)), out)
+        if hi > m:
+            out = np.where(
+                (x > m) & (x < hi), 1.0 - (hi - x) ** 2 / (span * (hi - m)), out
+            )
+        return np.where(x >= hi, 1.0, out)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    @property
+    def variance(self) -> float:
+        lo, m, hi = self.low, self.mode, self.high
+        return (lo**2 + m**2 + hi**2 - lo * m - lo * hi - m * hi) / 18.0
+
+    @property
+    def support(self) -> Support:
+        return Support(self.low, self.high)

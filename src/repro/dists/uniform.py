@@ -1,0 +1,81 @@
+"""Uniform distributions (continuous and discrete)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dists.base import Distribution, Support
+
+
+class Uniform(Distribution):
+    """Continuous uniform on ``[low, high)``.
+
+    A pseudo-random number generator *is* the sampling function for this
+    distribution (Section 4.1); it anchors the library.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.low) & (x <= self.high)
+        with np.errstate(divide="ignore"):
+            return np.where(inside, -np.log(self.high - self.low), -np.inf)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.clip((x - self.low) / (self.high - self.low), 0.0, 1.0)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    @property
+    def support(self) -> Support:
+        return Support(self.low, self.high)
+
+
+class DiscreteUniform(Distribution):
+    """Uniform over integers ``low..high`` inclusive."""
+
+    discrete = True
+
+    def __init__(self, low: int, high: int) -> None:
+        if not low <= high:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x)
+        count = self.high - self.low + 1
+        inside = (x >= self.low) & (x <= self.high) & (np.floor(x) == x)
+        with np.errstate(divide="ignore"):
+            return np.where(inside, -np.log(count), -np.inf)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        count = self.high - self.low + 1
+        return (count**2 - 1) / 12.0
+
+    @property
+    def support(self) -> Support:
+        return Support(self.low, self.high)

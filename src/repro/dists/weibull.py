@@ -1,0 +1,48 @@
+"""Weibull distribution — a standard lifetime/reliability error model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import Distribution, NON_NEGATIVE, Support
+
+
+class Weibull(Distribution):
+    """Weibull(shape k, scale lambda) over non-negative reals."""
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be positive, got {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=n)
+
+    def log_pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        k, lam = self.shape, self.scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = x / lam
+            lp = math.log(k / lam) + (k - 1) * np.log(z) - z**k
+        return np.where(x > 0, lp, np.where((x == 0) & (k == 1), math.log(k / lam), -np.inf))
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x > 0, 1.0 - np.exp(-((x / self.scale) ** self.shape)), 0.0)
+
+    @property
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    @property
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+    @property
+    def support(self) -> Support:
+        return NON_NEGATIVE

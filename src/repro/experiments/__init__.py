@@ -1,0 +1,36 @@
+"""Experiment drivers that regenerate every figure in the paper.
+
+Each module exposes a ``run(seed=..., fast=...)`` function returning an
+:class:`ExperimentResult` whose rows are the figure's data series.  The
+benchmark suite calls these drivers and asserts the paper's *shape* claims;
+``python -m repro.experiments`` runs everything and prints the tables.
+
+``fast=True`` (the default for tests and benchmarks) uses reduced
+replication counts that preserve every qualitative conclusion; ``fast=False``
+approaches the paper's full protocol.
+"""
+
+from repro.experiments.base import ExperimentResult, registry, run_experiment
+from repro.experiments import (  # noqa: F401  (imports populate the registry)
+    fig01_sample,
+    fig03_naive_speed,
+    fig04_ticket,
+    fig06_compounding,
+    fig08_dependence,
+    fig09_evidence,
+    fig11_gps_posterior,
+    fig13_walking,
+    fig14_sensorlife,
+    fig15_ppd,
+    fig16_precision_recall,
+    fig17_ppl,
+    sec2_claims,
+    table1_operators,
+    ext_geofence,
+    ext_fusion,
+    ext_life_dynamics,
+    ext_hardware,
+    ext_baselines,
+)
+
+__all__ = ["ExperimentResult", "registry", "run_experiment"]

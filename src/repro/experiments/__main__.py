@@ -1,0 +1,38 @@
+"""Run every registered experiment and print its regenerated table.
+
+Usage::
+
+    python -m repro.experiments            # fast protocol, all experiments
+    python -m repro.experiments fig14      # one experiment
+    python -m repro.experiments --full     # the paper's full protocol
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import registry, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    fast = "--full" not in argv
+    ids = [a for a in argv if not a.startswith("-")]
+    targets = ids or sorted(registry)
+    failures = 0
+    for experiment_id in targets:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, fast=fast)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"  ({elapsed:.1f}s)\n")
+        failures += sum(not ok for ok in result.claims.values())
+    if failures:
+        print(f"{failures} shape claim(s) FAILED")
+        return 1
+    print("all shape claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

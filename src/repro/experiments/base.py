@@ -1,0 +1,85 @@
+"""Shared experiment infrastructure: results, registry, table rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """A regenerated paper artifact.
+
+    ``rows`` is a list of dicts with consistent keys (one dict per table
+    row / plotted point); ``claims`` maps shape-claim descriptions to
+    booleans so benchmarks can assert them and EXPERIMENTS.md can report
+    them.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]]
+    claims: dict[str, bool] = dataclasses.field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+    def render(self) -> str:
+        """Plain-text table of the rows plus claim checklist."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            lines.append(render_table(self.rows))
+        for claim, ok in self.claims.items():
+            lines.append(f"  [{'x' if ok else ' '}] {claim}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict[str, Any]]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_format(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, sep, *body])
+
+
+#: experiment id -> run callable.
+registry: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering a ``run`` function under an experiment id."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        registry[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig14"``)."""
+    if experiment_id not in registry:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(registry)}"
+        )
+    return registry[experiment_id](**kwargs)

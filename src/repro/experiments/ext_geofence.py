@@ -1,0 +1,67 @@
+"""Extension experiment: geofencing event storms (naive vs evidence)."""
+
+from __future__ import annotations
+
+from repro.core.conditionals import evaluation_config
+from repro.experiments.base import ExperimentResult, experiment
+from repro.gps.geo import GeoCoordinate
+from repro.gps.geofence import Geofence, entry_events_naive, entry_events_uncertain
+from repro.gps.sensor import GpsFix, gps_posterior
+from repro.rng import default_rng
+
+ORIGIN = GeoCoordinate(47.64, -122.13)
+
+
+@experiment("ext_geofence")
+def run(seed: int = 20, fast: bool = True) -> ExperimentResult:
+    """Loitering outside a fence: naive containment fires on noise.
+
+    Scenario A: a user stands 1 m outside the fence for N seconds with
+    3 m fix jitter — every naive boundary crossing is a spurious entry.
+    Scenario B: the user decisively walks into the fence — a real entry
+    both flows must detect.
+    """
+    n = 60 if fast else 300
+    rng = default_rng(seed)
+    park = Geofence.rectangle(ORIGIN, 100.0, 80.0)
+
+    loiter_true = ORIGIN.offset_m(-3.0, 40.0)
+    loiter_fixes = [
+        loiter_true.offset_m(rng.normal(0, 3.0), rng.normal(0, 3.0))
+        for _ in range(n)
+    ]
+    naive_storm = entry_events_naive(park, loiter_fixes)
+    loiter_locations = [
+        gps_posterior(GpsFix(f, 6.0, float(i))) for i, f in enumerate(loiter_fixes)
+    ]
+    with evaluation_config(rng=default_rng(seed + 1)):
+        uncertain_storm = entry_events_uncertain(park, loiter_locations, 0.95)
+
+    walk_path = [ORIGIN.offset_m(-20.0 + 10.0 * i, 40.0) for i in range(10)]
+    walk_locations = [
+        gps_posterior(GpsFix(p, 3.0, float(i))) for i, p in enumerate(walk_path)
+    ]
+    with evaluation_config(rng=default_rng(seed + 2)):
+        real_entries = entry_events_uncertain(park, walk_locations, 0.9)
+
+    rows = [
+        {
+            "scenario": "loitering outside (spurious entries)",
+            "naive_events": len(naive_storm),
+            "uncertain_events": len(uncertain_storm),
+        },
+        {
+            "scenario": "decisive entry (real event)",
+            "naive_events": len(entry_events_naive(park, walk_path)),
+            "uncertain_events": len(real_entries),
+        },
+    ]
+    claims = {
+        "naive containment produces an event storm": len(naive_storm) >= 3,
+        "evidence gating thins the storm by >= 3x": len(uncertain_storm)
+        <= len(naive_storm) // 3,
+        "a real entry is still detected exactly once": len(real_entries) == 1,
+    }
+    return ExperimentResult(
+        "ext_geofence", "geofencing with uncertain locations", rows, claims
+    )

@@ -1,0 +1,68 @@
+"""Figure 3: naive speed computation on GPS data produces absurd speeds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, experiment
+from repro.gps.sensor import GpsSensor
+from repro.gps.trace import WalkConfig, generate_walk
+from repro.gps.walking import run_naive_walking
+from repro.rng import default_rng
+
+#: Sensor settings shared by the walking experiments: temporally correlated
+#: error with occasional multipath glitches, the regime that produces the
+#: paper's 59 mph walking speeds (see EXPERIMENTS.md).
+WALK_SENSOR = dict(
+    epsilon_m=4.0,
+    correlation=0.9,
+    glitch_probability=0.01,
+    glitch_scale_m=12.0,
+    glitch_duration_s=2.0,
+)
+
+
+@experiment("fig03")
+def run(seed: int = 3, fast: bool = True) -> ExperimentResult:
+    """Reproduce Figure 3's statistics for the naive speed trace.
+
+    Paper (15-minute walk at ~3 mph): mean 3.5 mph, 35 s above 7 mph,
+    absurd maxima of 30-59 mph.
+    """
+    duration = 300.0 if fast else 900.0
+    trace = generate_walk(WalkConfig(duration_s=duration), rng=default_rng(seed))
+    sensor = GpsSensor(rng=default_rng(seed + 1), **WALK_SENSOR)
+    result = run_naive_walking(trace, sensor)
+    speeds = result.speeds_mph
+    rows = [
+        {
+            "series": "naive GPS speed",
+            "duration_s": duration,
+            "mean_mph": float(np.mean(speeds)),
+            "max_mph": float(np.max(speeds)),
+            "seconds_above_7mph": result.seconds_above[7.0],
+            "seconds_above_20mph": result.seconds_above[20.0],
+        },
+        {
+            "series": "ground truth",
+            "duration_s": duration,
+            "mean_mph": float(np.mean(result.true_speeds_mph)),
+            "max_mph": float(np.max(result.true_speeds_mph)),
+            "seconds_above_7mph": int(np.sum(result.true_speeds_mph > 7.0)),
+            "seconds_above_20mph": 0,
+        },
+    ]
+    claims = {
+        "naive speeds include absurd values (> 20 mph while walking)": rows[0][
+            "max_mph"
+        ]
+        > 20.0,
+        "naive reports running pace (> 7 mph) for many seconds": rows[0][
+            "seconds_above_7mph"
+        ]
+        >= 5,
+        "ground truth never exceeds running pace": rows[1]["seconds_above_7mph"] == 0,
+        "naive mean is inflated above the true mean": rows[0]["mean_mph"]
+        > rows[1]["mean_mph"],
+    }
+    return ExperimentResult("fig03", "naive speed from GPS is absurd", rows, claims)

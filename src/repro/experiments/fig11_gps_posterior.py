@@ -1,0 +1,77 @@
+"""Figures 11-12: the Rayleigh GPS posterior and GPS.GetLocation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.rayleigh import Rayleigh
+from repro.experiments.base import ExperimentResult, experiment
+from repro.gps.geo import GeoCoordinate, enu_distance_m
+from repro.gps.sensor import GpsFix, gps_posterior, rayleigh_scale
+from repro.rng import default_rng
+
+
+@experiment("fig11")
+def run(seed: int = 11, fast: bool = True) -> ExperimentResult:
+    """Check the GPS posterior's ring structure (Figure 11).
+
+    The true location is *unlikely to be at the centre* of the reported
+    fix: the radial error density peaks at the Rayleigh scale, not zero,
+    and 95% of the mass lies within the reported horizontal accuracy.
+    """
+    rng = default_rng(seed)
+    n = 20_000 if fast else 200_000
+    epsilon = 4.0
+    rho = rayleigh_scale(epsilon)
+    radial = Rayleigh.from_95ci(epsilon)
+
+    fix = GpsFix(GeoCoordinate(47.64, -122.13), epsilon, 0.0)
+    location = gps_posterior(fix)
+    samples = location.samples(n, rng)
+    distances = np.asarray(
+        [enu_distance_m(fix.coordinate, s) for s in samples[: min(n, 5_000)]]
+    )
+
+    rows = [
+        {
+            "quantity": "Rayleigh scale rho (m)",
+            "value": rho,
+            "expected": epsilon / math.sqrt(math.log(400.0)),
+        },
+        {
+            "quantity": "Pr[error <= epsilon] (should be 0.95)",
+            "value": float(radial.cdf(epsilon)),
+            "expected": 0.95,
+        },
+        {
+            "quantity": "modal radial error (m, peak of the ring)",
+            "value": float(np.median(distances) / math.sqrt(math.log(4.0))),
+            "expected": rho,
+        },
+        {
+            "quantity": "mean sampled distance from fix (m)",
+            "value": float(distances.mean()),
+            "expected": radial.mean,
+        },
+        {
+            "quantity": "Pr[error < rho/2] (centre is unlikely)",
+            "value": float(np.mean(distances < rho / 2)),
+            "expected": float(radial.cdf(rho / 2)),
+        },
+    ]
+    claims = {
+        "95% of mass within the reported accuracy radius": abs(
+            rows[1]["value"] - 0.95
+        )
+        < 1e-9,
+        "sampled radial distances match the Rayleigh model": abs(
+            rows[3]["value"] - radial.mean
+        )
+        < 0.1,
+        "the true location is unlikely to be the fix itself": rows[4]["value"] < 0.2,
+    }
+    return ExperimentResult(
+        "fig11", "GPS posterior is a ring, not a point", rows, claims
+    )

@@ -1,0 +1,96 @@
+"""Figure 15: the posterior predictive distribution of the Sobel network."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, experiment
+from repro.ml.evaluation import EDGE_THRESHOLD
+from repro.ml.hmc import HMCConfig
+from repro.ml.images import make_dataset
+from repro.ml.parakeet import train_parakeet, train_parrot
+from repro.rng import default_rng
+
+
+@functools.lru_cache(maxsize=2)
+def trained_models(seed: int, fast: bool):
+    """Train Parrot and Parakeet once per (seed, protocol); both figure 15
+    and figure 16 reuse the result."""
+    n_train = 2_000 if fast else 5_000
+    x_train, t_train = make_dataset(n_train, rng=default_rng(seed))
+    x_eval, t_eval = make_dataset(500, rng=default_rng(seed + 1))
+    parrot = train_parrot(
+        x_train, t_train, epochs=150 if fast else 300, rng=default_rng(seed + 2)
+    )
+    hmc = HMCConfig(
+        n_samples=30 if fast else 40,
+        thin=5 if fast else 10,
+        burn_in=100 if fast else 200,
+    )
+    parakeet = train_parakeet(
+        x_train,
+        t_train,
+        pretrain_epochs=150 if fast else 300,
+        hmc_config=hmc,
+        rng=default_rng(seed + 3),
+    )
+    return x_train, t_train, x_eval, t_eval, parrot, parakeet
+
+
+@experiment("fig15")
+def run(seed: int = 15, fast: bool = True) -> ExperimentResult:
+    """Reproduce Figure 15's anatomy on an interesting evaluation input.
+
+    The paper shows a test input where Parrot's single prediction differs
+    significantly from the true output, while the PPD spreads over other
+    plausible predictions and assigns only partial evidence (~70%) to the
+    edge conditional.  We pick the evaluation example where Parrot errs
+    most across the 0.1 threshold and report the same quantities.
+    """
+    _, _, x_eval, t_eval, parrot, parakeet = trained_models(seed, fast)
+    preds = parrot.predict_batch(x_eval)
+    truth = np.asarray(t_eval)
+    # Pick the paper's kind of example: Parrot's decision disagrees with the
+    # truth while the PPD assigns *partial* evidence (the figure shows ~70%).
+    from scipy.stats import norm
+
+    ppd_all = parakeet.ppd_matrix(x_eval)
+    evidence_all = np.mean(
+        norm.sf(EDGE_THRESHOLD, loc=ppd_all, scale=max(parakeet.noise_sigma, 1e-9)),
+        axis=1,
+    )
+    disagree = (preds > EDGE_THRESHOLD) != (truth > EDGE_THRESHOLD)
+    pool = np.where(disagree)[0] if disagree.any() else np.arange(len(truth))
+    idx = int(pool[np.argmin(np.abs(evidence_all[pool] - 0.7))])
+
+    ppd = parakeet.predict(x_eval[idx])
+    rng = default_rng(seed + 4)
+    evidence = (ppd > EDGE_THRESHOLD).evidence(20_000, rng)
+    rows = [
+        {"quantity": "true sobel output", "value": float(truth[idx])},
+        {"quantity": "Parrot's single prediction", "value": float(preds[idx])},
+        {"quantity": "PPD mean", "value": float(ppd.expected_value(20_000, rng))},
+        {"quantity": "PPD standard deviation", "value": float(ppd.sd(20_000, rng))},
+        {"quantity": "evidence Pr[s > 0.1]", "value": float(evidence)},
+        {
+            "quantity": "Parrot edge decision",
+            "value": float(preds[idx] > EDGE_THRESHOLD),
+        },
+        {"quantity": "true edge", "value": float(truth[idx] > EDGE_THRESHOLD)},
+    ]
+    claims = {
+        "the PPD has real spread (distribution, not a point)": rows[3]["value"]
+        > 0.005,
+        "the evidence for the conditional is partial (not 0 or 1)": 0.02
+        < evidence
+        < 0.98,
+        "Parrot's point decision disagrees with the truth on this input": rows[5][
+            "value"
+        ]
+        != rows[6]["value"],
+    }
+    return ExperimentResult(
+        "fig15", "PPD vs Parrot point prediction", rows, claims
+    )

@@ -1,0 +1,66 @@
+"""Figure 17: generative-PPL inference cost vs Uncertain's conditionals."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, experiment
+from repro.ppl.alarm import exact_alarm_probability, run_alarm_comparison
+from repro.rng import default_rng
+
+
+@experiment("fig17")
+def run(seed: int = 17, fast: bool = True) -> ExperimentResult:
+    """The alarm example's inference economics.
+
+    Paper: Pr[alarm] ~ 0.11%, so rejection-style inference has a poor
+    acceptance rate (Church took 20 s for 100 samples).  Uncertain<T>'s
+    conditional over the (conditional) distribution needs only the handful
+    of samples its SPRT requests.
+    """
+    n_posterior = 50 if fast else 100
+    comparison = run_alarm_comparison(n_posterior, rng=default_rng(seed))
+    rejection = comparison.rejection
+    rows = [
+        {
+            "quantity": "exact Pr[alarm]",
+            "value": exact_alarm_probability(),
+        },
+        {
+            "quantity": "rejection acceptance rate",
+            "value": rejection.acceptance_rate,
+        },
+        {
+            "quantity": "model executions for posterior samples",
+            "value": rejection.executions,
+        },
+        {
+            "quantity": "posterior samples obtained",
+            "value": len(rejection.samples),
+        },
+        {
+            "quantity": "exact Pr[phoneWorking | alarm]",
+            "value": comparison.exact_posterior,
+        },
+        {
+            "quantity": "rejection estimate of the posterior",
+            "value": comparison.rejection_estimate,
+        },
+        {
+            "quantity": "Uncertain conditional samples (SPRT)",
+            "value": comparison.uncertain_samples,
+        },
+    ]
+    claims = {
+        "the acceptance rate is ~0.11% as the paper reports": 0.0003
+        < rejection.acceptance_rate
+        < 0.004,
+        "rejection needs hundreds of executions per posterior sample": rejection.executions
+        > 100 * len(rejection.samples),
+        "the Uncertain conditional needs orders of magnitude fewer samples": comparison.uncertain_samples
+        * 100
+        < rejection.executions,
+        "the conditional reaches the right decision": comparison.uncertain_decision
+        is True,
+    }
+    return ExperimentResult(
+        "fig17", "generative inference cost vs goal-directed sampling", rows, claims
+    )

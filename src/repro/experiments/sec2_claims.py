@@ -1,0 +1,46 @@
+"""Section 2's quantitative claims about compounded GPS error."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, experiment
+from repro.gps.ticket import speed_ci_95_mph, speed_distribution_mph, ticket_probability
+from repro.rng import default_rng
+
+
+@experiment("sec2")
+def run(seed: int = 2, fast: bool = True) -> ExperimentResult:
+    """Check the two headline numbers of Section 2.
+
+    1. "When the locations have a 95% confidence interval of 4 m, speed
+       has a 95% confidence interval of 12.7 mph."
+    2. "If your actual speed is 57 mph and GPS accuracy is 4 m, this
+       conditional gives a 32% probability of a ticket."
+    """
+    rng = default_rng(seed)
+    n = 50_000 if fast else 500_000
+    ci = speed_ci_95_mph(4.0)
+    # Cross-check the closed form against the sampled distribution at zero
+    # true speed: the 95th percentile of apparent speed.
+    still = speed_distribution_mph(0.0, 4.0)
+    sampled_ci = float(still.ci(0.90, n, rng)[1])  # one-sided 95th percentile
+    p_ticket = ticket_probability(57.0, 4.0, n=n, rng=rng)
+    rows = [
+        {
+            "claim": "95% speed CI at eps=4m (paper: 12.7 mph)",
+            "closed_form": ci,
+            "sampled": sampled_ci,
+        },
+        {
+            "claim": "Pr[ticket] at 57 mph, eps=4m (paper: 32%)",
+            "closed_form": float("nan"),
+            "sampled": p_ticket,
+        },
+    ]
+    claims = {
+        "speed CI reproduces 12.7 mph": abs(ci - 12.7) < 0.1,
+        "closed form matches sampling": abs(ci - sampled_ci) < 0.3,
+        "ticket probability is ~32%": 0.2 < p_ticket < 0.45,
+    }
+    return ExperimentResult(
+        "sec2", "compounded-error quantitative claims", rows, claims
+    )

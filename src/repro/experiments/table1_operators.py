@@ -1,0 +1,59 @@
+"""Table 1: the Uncertain<T> operator and method algebra, conformance-checked."""
+
+from __future__ import annotations
+
+from repro.core.conditionals import evaluation_config
+from repro.core.uncertain import Uncertain, UncertainBool
+from repro.dists.gaussian import Gaussian
+from repro.experiments.base import ExperimentResult, experiment
+from repro.rng import default_rng
+
+
+@experiment("table1")
+def run(seed: int = 1, fast: bool = True) -> ExperimentResult:
+    """Exercise every row of Table 1 and record its type signature."""
+    rng = default_rng(seed)
+    a = Uncertain(Gaussian(1.0, 0.5))
+    b = Uncertain(Gaussian(2.0, 0.5))
+
+    rows = []
+    checks: dict[str, bool] = {}
+
+    def check(name: str, signature: str, value, expected_type) -> None:
+        ok = isinstance(value, expected_type)
+        rows.append(
+            {
+                "operator": name,
+                "signature": signature,
+                "result_type": type(value).__name__,
+                "conforms": ok,
+            }
+        )
+        checks[f"{name} has type {signature}"] = ok
+
+    check("+", "U T -> U T -> U T", a + b, Uncertain)
+    check("-", "U T -> U T -> U T", a - b, Uncertain)
+    check("*", "U T -> U T -> U T", a * b, Uncertain)
+    check("/", "U T -> U T -> U T", a / b, Uncertain)
+    check("<", "U T -> U T -> U Bool", a < b, UncertainBool)
+    check(">", "U T -> U T -> U Bool", a > b, UncertainBool)
+    check("<=", "U T -> U T -> U Bool", a <= b, UncertainBool)
+    check(">=", "U T -> U T -> U Bool", a >= b, UncertainBool)
+    check("and (&)", "U Bool -> U Bool -> U Bool", (a < b) & (b > a), UncertainBool)
+    check("or (|)", "U Bool -> U Bool -> U Bool", (a < b) | (b > a), UncertainBool)
+    check("not (~)", "U Bool -> U Bool", ~(a < b), UncertainBool)
+    check("Pointmass", "T -> U T", Uncertain.pointmass(3.0), Uncertain)
+
+    with evaluation_config(rng=rng):
+        explicit = (a < b).pr(0.9)
+        implicit = bool(a < b)
+        expected = a.expected_value(2_000)
+    check("Pr (explicit)", "U Bool -> [0,1] -> Bool", explicit, bool)
+    check("Pr (implicit)", "U Bool -> Bool", implicit, bool)
+    check("E", "U T -> T", expected, float)
+
+    checks["explicit conditional agrees with ground truth"] = explicit is True
+    checks["implicit conditional agrees with ground truth"] = implicit is True
+    checks["E is close to the true mean"] = abs(expected - 1.0) < 0.1
+
+    return ExperimentResult("table1", "operator/method conformance", rows, checks)

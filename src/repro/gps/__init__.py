@@ -1,0 +1,57 @@
+"""GPS substrate for the GPS-Walking case study (Section 5.1).
+
+The paper evaluates Uncertain<T> on a real Windows-Phone GPS trace.  We
+reproduce the entire pipeline with a synthetic substitute whose statistics
+match the paper's published model:
+
+- :mod:`repro.gps.geo` — ``GeoCoordinate`` (a numeric pair type, as in the
+  paper's Figure 5) plus planar/great-circle geometry.
+- :mod:`repro.gps.sensor` — the Rayleigh GPS error posterior of Section 4.1
+  and a ``GpsSensor`` producing noisy fixes from ground truth.
+- :mod:`repro.gps.trace` — a seeded synthetic walk generator standing in
+  for the authors' 15-minute outdoor walk (substitution #1 in DESIGN.md).
+- :mod:`repro.gps.walking` — the GPS-Walking application, in both its naive
+  (Figure 5a) and Uncertain (Figure 5b) forms.
+- :mod:`repro.gps.priors` — walking-speed and road-snapping priors
+  (Section 3.5, Figure 10).
+- :mod:`repro.gps.ticket` — the speeding-ticket model behind Figure 4 and
+  Section 2's quantitative claims.
+"""
+
+from repro.gps.geo import GeoCoordinate, enu_distance_m, haversine_m
+from repro.gps.sensor import GpsFix, GpsSensor, gps_posterior
+from repro.gps.trace import WalkConfig, WalkTrace, generate_walk
+from repro.gps.walking import (
+    GpsWalkingDecision,
+    naive_speeds_mph,
+    run_naive_walking,
+    run_uncertain_walking,
+    uncertain_speed_mph,
+)
+from repro.gps.priors import road_prior, walking_speed_prior
+from repro.gps.geofence import Geofence, entry_events_naive, entry_events_uncertain
+from repro.gps.ticket import speed_ci_95_mph, ticket_probability
+
+__all__ = [
+    "GeoCoordinate",
+    "haversine_m",
+    "enu_distance_m",
+    "GpsFix",
+    "GpsSensor",
+    "gps_posterior",
+    "WalkConfig",
+    "WalkTrace",
+    "generate_walk",
+    "GpsWalkingDecision",
+    "naive_speeds_mph",
+    "run_naive_walking",
+    "run_uncertain_walking",
+    "uncertain_speed_mph",
+    "walking_speed_prior",
+    "road_prior",
+    "Geofence",
+    "entry_events_naive",
+    "entry_events_uncertain",
+    "speed_ci_95_mph",
+    "ticket_probability",
+]

@@ -1,0 +1,89 @@
+"""Geographic coordinate type and geometry helpers.
+
+The paper's Figure 5 notes that ``GeoCoordinate`` "is a pair of doubles
+(latitude and longitude) and so is numeric" — it supports the arithmetic
+operators, which is what lets ``Uncertain[GeoCoordinate]`` flow through the
+lifted operator algebra.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+#: Metres per degree of latitude (approximately constant).
+M_PER_DEG_LAT = math.pi * EARTH_RADIUS_M / 180.0
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoCoordinate:
+    """A latitude/longitude pair in degrees, with vector arithmetic.
+
+    Arithmetic treats coordinates as a numeric pair (the paper's framing);
+    the geometry helpers below convert to metres when physical distances are
+    needed.
+    """
+
+    latitude: float
+    longitude: float
+
+    def __add__(self, other: "GeoCoordinate") -> "GeoCoordinate":
+        return GeoCoordinate(
+            self.latitude + other.latitude, self.longitude + other.longitude
+        )
+
+    def __sub__(self, other: "GeoCoordinate") -> "GeoCoordinate":
+        return GeoCoordinate(
+            self.latitude - other.latitude, self.longitude - other.longitude
+        )
+
+    def __mul__(self, k: float) -> "GeoCoordinate":
+        return GeoCoordinate(self.latitude * k, self.longitude * k)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: float) -> "GeoCoordinate":
+        return GeoCoordinate(self.latitude / k, self.longitude / k)
+
+    def __neg__(self) -> "GeoCoordinate":
+        return GeoCoordinate(-self.latitude, -self.longitude)
+
+    # -- geometry ----------------------------------------------------------
+
+    def offset_m(self, east_m: float, north_m: float) -> "GeoCoordinate":
+        """Translate by metres in the local tangent plane."""
+        dlat = north_m / M_PER_DEG_LAT
+        dlon = east_m / (M_PER_DEG_LAT * math.cos(math.radians(self.latitude)))
+        return GeoCoordinate(self.latitude + dlat, self.longitude + dlon)
+
+    def enu_m(self, origin: "GeoCoordinate") -> tuple[float, float]:
+        """(east, north) metres of ``self`` relative to ``origin``."""
+        north = (self.latitude - origin.latitude) * M_PER_DEG_LAT
+        east = (
+            (self.longitude - origin.longitude)
+            * M_PER_DEG_LAT
+            * math.cos(math.radians(origin.latitude))
+        )
+        return east, north
+
+
+def haversine_m(a: GeoCoordinate, b: GeoCoordinate) -> float:
+    """Great-circle distance in metres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def enu_distance_m(a: GeoCoordinate, b: GeoCoordinate) -> float:
+    """Planar local-tangent distance in metres (fast, accurate at walk scale)."""
+    east, north = b.enu_m(a)
+    return math.hypot(east, north)

@@ -1,0 +1,115 @@
+"""Geofencing with uncertain locations.
+
+"Am I inside the park?" is a boolean question asked of an uncertain
+location — the canonical conditional uncertainty bug.  A naive containment
+test on the reported fix produces false entry/exit events near the fence;
+the Uncertain version evaluates the *evidence* that the user is inside and
+lets the application pick its operating point (e.g. only unlock the door at
+95% evidence).
+
+Fences are convex or concave polygons in the local tangent plane; the
+containment test lifts over ``Uncertain[GeoCoordinate]`` via
+:func:`repro.core.lifting.apply`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.lifting import apply
+from repro.core.uncertain import Uncertain, UncertainBool
+from repro.gps.geo import GeoCoordinate
+
+
+class Geofence:
+    """A polygonal fence defined by its corner coordinates (in order)."""
+
+    def __init__(self, corners: Sequence[GeoCoordinate]) -> None:
+        if len(corners) < 3:
+            raise ValueError(f"a fence needs at least 3 corners, got {len(corners)}")
+        self.corners = tuple(corners)
+        self._origin = corners[0]
+        self._poly = np.array([c.enu_m(self._origin) for c in corners])
+
+    def contains_point(self, location: GeoCoordinate) -> bool:
+        """Exact even-odd (ray casting) containment test."""
+        x, y = location.enu_m(self._origin)
+        poly = self._poly
+        inside = False
+        j = len(poly) - 1
+        for i in range(len(poly)):
+            xi, yi = poly[i]
+            xj, yj = poly[j]
+            crosses = (yi > y) != (yj > y)
+            if crosses and x < (xj - xi) * (y - yi) / (yj - yi) + xi:
+                inside = not inside
+            j = i
+        return inside
+
+    def contains(self, location: Uncertain | GeoCoordinate) -> UncertainBool | bool:
+        """Containment lifted over an uncertain location.
+
+        A plain ``GeoCoordinate`` gets the exact boolean; an
+        ``Uncertain[GeoCoordinate]`` gets an ``UncertainBool`` whose
+        evidence is Pr[inside].
+        """
+        if isinstance(location, GeoCoordinate):
+            return self.contains_point(location)
+        return apply(self.contains_point, location, boolean=True, label="in_fence")
+
+    @classmethod
+    def rectangle(
+        cls, south_west: GeoCoordinate, width_m: float, height_m: float
+    ) -> "Geofence":
+        """Axis-aligned rectangular fence anchored at its south-west corner."""
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("width_m and height_m must be positive")
+        return cls(
+            [
+                south_west,
+                south_west.offset_m(width_m, 0.0),
+                south_west.offset_m(width_m, height_m),
+                south_west.offset_m(0.0, height_m),
+            ]
+        )
+
+
+def entry_events_naive(
+    fence: Geofence, fixes: Sequence[GeoCoordinate]
+) -> list[int]:
+    """Indices where a naive fix-containment test reports fence entry."""
+    events = []
+    was_inside = False
+    for i, fix in enumerate(fixes):
+        inside = fence.contains_point(fix)
+        if inside and not was_inside:
+            events.append(i)
+        was_inside = inside
+    return events
+
+
+def entry_events_uncertain(
+    fence: Geofence,
+    locations: Sequence[Uncertain],
+    evidence: float = 0.95,
+) -> list[int]:
+    """Entry events that require strong evidence of containment.
+
+    Entering demands ``Pr[inside] > evidence``; the state resets only when
+    there is equally strong evidence of being *outside*, so fixes jittering
+    across the boundary do not generate event storms.
+    """
+    if not 0.0 < evidence < 1.0:
+        raise ValueError(f"evidence must be in (0, 1), got {evidence}")
+    events = []
+    was_inside = False
+    for i, location in enumerate(locations):
+        inside_cond = fence.contains(location)
+        if not was_inside and inside_cond.pr(evidence):
+            events.append(i)
+            was_inside = True
+        elif was_inside and (~inside_cond).pr(evidence):
+            was_inside = False
+    return events

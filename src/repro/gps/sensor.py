@@ -1,0 +1,211 @@
+"""The GPS sensor model and its Uncertain-aware library API (Section 4.1).
+
+A GPS fix is the true position perturbed by isotropic planar error; the
+radial magnitude of that error is Rayleigh-distributed.  Sensors report a
+"horizontal accuracy" ``epsilon`` — the 95% confidence radius — so the
+Rayleigh scale is ``epsilon / sqrt(ln 400)`` (see :mod:`repro.dists.rayleigh`
+for the derivation).
+
+The expert-facing API mirrors the paper's Figure 12: ``GpsSensor.
+get_location`` returns an ``Uncertain[GeoCoordinate]`` whose sampling
+function draws a uniformly random angle and a Rayleigh radius around the
+*measured* fix — the posterior over true locations given the fix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.uncertain import Uncertain
+from repro.dists.rayleigh import SCALE_FROM_95CI, Rayleigh
+from repro.dists.sampling_function import FunctionDistribution
+from repro.gps.geo import GeoCoordinate
+
+
+@dataclasses.dataclass(frozen=True)
+class GpsFix:
+    """What a conventional GPS API returns: a point plus an accuracy radius.
+
+    This is the lossy abstraction of Section 2 — ``horizontal_accuracy`` is
+    the 95% confidence radius that almost no application reads.
+    """
+
+    coordinate: GeoCoordinate
+    horizontal_accuracy: float  # metres, 95% confidence radius
+    timestamp: float  # seconds
+
+
+def rayleigh_scale(epsilon_m: float) -> float:
+    """Rayleigh scale (metres) from a 95% accuracy radius."""
+    if epsilon_m <= 0:
+        raise ValueError(f"horizontal accuracy must be positive, got {epsilon_m}")
+    return epsilon_m * SCALE_FROM_95CI
+
+
+def gps_posterior(fix: GpsFix) -> Uncertain:
+    """Figure 12's ``GPS.GetLocation``: the location posterior for a fix.
+
+    Samples are ``GeoCoordinate`` objects: radius ~ Rayleigh(rho), angle ~
+    Uniform[0, 2*pi), centred on the measured coordinate.
+    """
+    rho = rayleigh_scale(fix.horizontal_accuracy)
+    centre = fix.coordinate
+
+    def sample_one(rng: np.random.Generator) -> GeoCoordinate:
+        radius = rng.rayleigh(rho)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return centre.offset_m(radius * math.cos(angle), radius * math.sin(angle))
+
+    def sample_many(n: int, rng: np.random.Generator) -> np.ndarray:
+        radii = rng.rayleigh(rho, size=n)
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            out[i] = centre.offset_m(
+                radii[i] * math.cos(angles[i]), radii[i] * math.sin(angles[i])
+            )
+        return out
+
+    dist = FunctionDistribution(sample_one, fn_n=sample_many)
+    return Uncertain(dist, label=f"GPS@{centre.latitude:.5f},{centre.longitude:.5f}")
+
+
+def gps_posterior_enu(
+    fix: GpsFix, origin: GeoCoordinate
+) -> tuple[Uncertain, Uncertain]:
+    """The same posterior as planar (east, north) metre coordinates.
+
+    Returns two correlated ``Uncertain[float]`` components sharing one
+    underlying draw — built from a shared radius/angle leaf so the pair
+    stays jointly consistent.  The planar form runs fully vectorised, which
+    the benchmarks use.
+    """
+    rho = rayleigh_scale(fix.horizontal_accuracy)
+    east0, north0 = fix.coordinate.enu_m(origin)
+
+    def sample_offsets(n: int, rng: np.random.Generator) -> np.ndarray:
+        radii = rng.rayleigh(rho, size=n)
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        return np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+
+    offsets = Uncertain(
+        FunctionDistribution(
+            lambda rng: sample_offsets(1, rng)[0], fn_n=sample_offsets
+        ),
+        label="gps_offset_en",
+    )
+    east = offsets.map(lambda pair: pair[:, 0], vectorized=True, label="east") + east0
+    north = (
+        offsets.map(lambda pair: pair[:, 1], vectorized=True, label="north") + north0
+    )
+    return east, north
+
+
+class GpsSensor:
+    """A simulated GPS receiver with a realistic error process.
+
+    ``measure`` perturbs ground truth with the error model and returns a
+    :class:`GpsFix`; ``get_location`` wraps that fix in the posterior
+    ``Uncertain[GeoCoordinate]``, which is the Uncertain-aware library call
+    of Figure 12.
+
+    Real GPS error is *temporally correlated* (the same satellites and
+    atmosphere affect consecutive fixes) and punctuated by multipath
+    glitches — which is exactly what produces the paper's absurd 59 mph
+    walking speeds when positions are differenced.  The model here is an
+    AR(1) error vector with stationary per-axis sigma matching the Rayleigh
+    scale of ``epsilon_m``, plus transient glitch offsets:
+
+    - ``correlation`` — AR(1) coefficient; 0 gives the iid model.
+    - ``glitch_probability`` — per-fix chance of starting a glitch.
+    - ``glitch_scale_m`` — magnitude scale of glitch offsets.
+    - ``glitch_duration_s`` — how long a glitch persists.
+    - ``honest_accuracy`` — when True, the reported horizontal accuracy
+      grows during glitches (a good receiver knows it is struggling);
+      when False the sensor always reports ``epsilon_m``.
+    """
+
+    def __init__(
+        self,
+        epsilon_m: float = 4.0,
+        rng: np.random.Generator | None = None,
+        correlation: float = 0.0,
+        glitch_probability: float = 0.0,
+        glitch_scale_m: float = 25.0,
+        glitch_duration_s: float = 2.0,
+        honest_accuracy: bool = True,
+    ) -> None:
+        if epsilon_m <= 0:
+            raise ValueError(f"epsilon_m must be positive, got {epsilon_m}")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError(f"correlation must be in [0, 1), got {correlation}")
+        if not 0.0 <= glitch_probability <= 1.0:
+            raise ValueError(
+                f"glitch_probability must be in [0, 1], got {glitch_probability}"
+            )
+        self.epsilon_m = float(epsilon_m)
+        self.correlation = float(correlation)
+        self.glitch_probability = float(glitch_probability)
+        self.glitch_scale_m = float(glitch_scale_m)
+        self.glitch_duration_s = float(glitch_duration_s)
+        self.honest_accuracy = honest_accuracy
+        self._rho = rayleigh_scale(epsilon_m)
+        from repro.rng import ensure_rng
+
+        self._rng = ensure_rng(rng)
+        # AR(1) error state (east, north) and glitch bookkeeping.
+        self._error = (
+            self._rng.normal(0.0, self._rho),
+            self._rng.normal(0.0, self._rho),
+        )
+        self._glitch_offset = (0.0, 0.0)
+        self._glitch_until = -math.inf
+        self._last_timestamp: float | None = None
+
+    def _step_error(self, timestamp: float) -> tuple[float, float, float]:
+        """Advance the error process; return (east_err, north_err, epsilon)."""
+        rng = self._rng
+        a = self.correlation
+        innovation = self._rho * math.sqrt(max(1.0 - a * a, 0.0))
+        self._error = (
+            a * self._error[0] + rng.normal(0.0, innovation),
+            a * self._error[1] + rng.normal(0.0, innovation),
+        )
+        if timestamp >= self._glitch_until and rng.random() < self.glitch_probability:
+            magnitude = rng.rayleigh(self.glitch_scale_m)
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            self._glitch_offset = (
+                magnitude * math.cos(angle),
+                magnitude * math.sin(angle),
+            )
+            self._glitch_until = timestamp + self.glitch_duration_s
+        if timestamp >= self._glitch_until:
+            self._glitch_offset = (0.0, 0.0)
+        east = self._error[0] + self._glitch_offset[0]
+        north = self._error[1] + self._glitch_offset[1]
+        epsilon = self.epsilon_m
+        if self.honest_accuracy and self._glitch_offset != (0.0, 0.0):
+            glitch_mag = math.hypot(*self._glitch_offset)
+            epsilon = max(epsilon, glitch_mag)
+        return east, north, epsilon
+
+    def measure(self, true_location: GeoCoordinate, timestamp: float = 0.0) -> GpsFix:
+        """One noisy fix of a true location."""
+        east, north, epsilon = self._step_error(timestamp)
+        measured = true_location.offset_m(east, north)
+        self._last_timestamp = timestamp
+        return GpsFix(measured, epsilon, timestamp)
+
+    def get_location(
+        self, true_location: GeoCoordinate, timestamp: float = 0.0
+    ) -> Uncertain:
+        """Measure, then return the posterior distribution for the fix."""
+        return gps_posterior(self.measure(true_location, timestamp))
+
+    @property
+    def error_magnitude_dist(self) -> Rayleigh:
+        """The radial error distribution (Figure 11's ring-shaped posterior)."""
+        return Rayleigh(self._rho)

@@ -1,0 +1,94 @@
+"""Synthetic walking traces with known ground truth.
+
+Stand-in for the paper's 15-minute outdoor walk (DESIGN.md substitution #1).
+The walker follows a smoothly varying heading at a speed that wanders around
+a configurable mean with occasional pauses — enough texture that the speed
+signal is non-trivial, while ground truth stays exactly known so accuracy
+claims are checkable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.gps.geo import GeoCoordinate
+from repro.gps.units import mph_to_mps
+from repro.rng import ensure_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkConfig:
+    """Parameters of the synthetic walk."""
+
+    duration_s: float = 900.0  # the paper walked for 15 minutes
+    dt_s: float = 1.0  # GPS-Walking computes speed each second
+    mean_speed_mph: float = 3.0  # average human walking speed (Section 2)
+    speed_jitter_mph: float = 0.4  # slow wander of true speed
+    pause_probability: float = 0.01  # chance per step of starting a pause
+    pause_duration_s: float = 5.0
+    heading_drift_rad: float = 0.05  # per-step heading random walk
+    origin: GeoCoordinate = GeoCoordinate(47.6404, -122.1298)  # Redmond, WA
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkTrace:
+    """Ground-truth walk: positions, timestamps and true speeds."""
+
+    config: WalkConfig
+    timestamps: np.ndarray  # (n,) seconds
+    positions: tuple[GeoCoordinate, ...]  # (n,)
+    true_speeds_mph: np.ndarray  # (n-1,) speed over each interval
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def generate_walk(
+    config: WalkConfig | None = None, rng: np.random.Generator | int | None = None
+) -> WalkTrace:
+    """Generate a seeded ground-truth walking trace."""
+    config = config or WalkConfig()
+    if config.dt_s <= 0 or config.duration_s < config.dt_s:
+        raise ValueError("need dt_s > 0 and duration_s >= dt_s")
+    rng = ensure_rng(rng)
+
+    steps = int(round(config.duration_s / config.dt_s))
+    mean_mps = mph_to_mps(config.mean_speed_mph)
+    jitter_mps = mph_to_mps(config.speed_jitter_mph)
+
+    positions = [config.origin]
+    timestamps = [0.0]
+    speeds_mph = []
+    heading = rng.uniform(0.0, 2.0 * math.pi)
+    speed_mps = mean_mps
+    pause_left = 0.0
+
+    for step in range(steps):
+        t = (step + 1) * config.dt_s
+        if pause_left > 0:
+            pause_left -= config.dt_s
+            step_speed = 0.0
+        else:
+            if rng.random() < config.pause_probability:
+                pause_left = config.pause_duration_s
+            # Mean-reverting speed wander keeps the walker near mean speed.
+            speed_mps += 0.2 * (mean_mps - speed_mps) + jitter_mps * rng.normal() * 0.3
+            speed_mps = max(0.0, speed_mps)
+            step_speed = speed_mps
+        heading += config.heading_drift_rad * rng.normal()
+        d = step_speed * config.dt_s
+        positions.append(
+            positions[-1].offset_m(d * math.cos(heading), d * math.sin(heading))
+        )
+        timestamps.append(t)
+        speeds_mph.append(step_speed / mph_to_mps(1.0))
+
+    return WalkTrace(
+        config=config,
+        timestamps=np.asarray(timestamps),
+        positions=tuple(positions),
+        true_speeds_mph=np.asarray(speeds_mph),
+    )

@@ -1,0 +1,19 @@
+"""Unit conversions used throughout the GPS case study."""
+
+MPS_TO_MPH = 2.2369362920544025
+MPH_TO_MPS = 1.0 / MPS_TO_MPH
+
+#: Average human walking speed (paper, Section 2).
+AVERAGE_WALK_MPH = 3.0
+#: Running pace threshold the paper uses when counting absurd readings.
+RUNNING_MPH = 7.0
+#: GPS-Walking's encouragement threshold (Figure 5).
+TARGET_WALK_MPH = 4.0
+
+
+def mps_to_mph(mps: float) -> float:
+    return mps * MPS_TO_MPH
+
+
+def mph_to_mps(mph: float) -> float:
+    return mph * MPH_TO_MPS

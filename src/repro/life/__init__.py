@@ -1,0 +1,45 @@
+"""The noisy-sensor Game of Life case study (Section 5.2, Figure 14).
+
+Conway's Game of Life supplies ground truth: each cell senses its
+neighbours through sensors we artificially corrupt with zero-mean Gaussian
+noise, and we measure how often each strategy makes the wrong
+survive/die/birth decision.
+
+- :mod:`repro.life.engine` — the exact Game of Life (the "discrete perfect
+  sensors" that define ground truth).
+- :mod:`repro.life.sensors` — the noisy sensor layer and BayesLife's
+  MAP-corrected sensor.
+- :mod:`repro.life.variants` — NaiveLife, SensorLife and BayesLife cell
+  deciders.
+- :mod:`repro.life.evaluation` — the Figure 14 sweep: decision-error rates
+  and samples per cell update across noise amplitudes.
+"""
+
+from repro.life.engine import Board, random_board, step_board, true_decision
+from repro.life.sensors import corrected_sensor_sum, noisy_sensor_readings, sensor_sum
+from repro.life.variants import (
+    BayesLife,
+    LifeVariant,
+    NaiveLife,
+    SensorLife,
+    UpdateOutcome,
+)
+from repro.life.evaluation import LifePoint, evaluate_variants, run_generation
+
+__all__ = [
+    "Board",
+    "random_board",
+    "step_board",
+    "true_decision",
+    "noisy_sensor_readings",
+    "sensor_sum",
+    "corrected_sensor_sum",
+    "LifeVariant",
+    "NaiveLife",
+    "SensorLife",
+    "BayesLife",
+    "UpdateOutcome",
+    "LifePoint",
+    "evaluate_variants",
+    "run_generation",
+]

@@ -1,0 +1,113 @@
+"""Free-running noisy Game of Life dynamics (extension experiment).
+
+Figure 14 couples every variant to the exact board each generation so that
+decision errors are well-defined.  This module answers the follow-on
+question the paper leaves open: what happens when a noisy variant's errors
+*compound* — each generation applied to its own (possibly wrong) board?
+
+We track two divergence measures against the exact evolution from the same
+seed: per-generation board disagreement (fraction of differing cells) and
+population-size drift.  BayesLife's near-zero per-decision error should
+keep its trajectory pinned to the truth for many generations, while
+NaiveLife's 8%+ error rate scrambles the board within a few.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.conditionals import evaluation_config
+from repro.life.engine import Board, neighbor_states, random_board, step_board
+from repro.life.variants import LifeVariant
+from repro.rng import ensure_rng
+
+
+@dataclasses.dataclass
+class DivergenceTrace:
+    """Per-generation divergence of a free-running noisy board."""
+
+    variant: str
+    sigma: float
+    disagreement: np.ndarray  # (generations,) fraction of differing cells
+    population_true: np.ndarray  # (generations,)
+    population_noisy: np.ndarray  # (generations,)
+
+    @property
+    def final_disagreement(self) -> float:
+        return float(self.disagreement[-1])
+
+    def generations_until(self, threshold: float) -> int:
+        """First generation whose disagreement exceeds ``threshold``
+        (or the trace length if it never does)."""
+        above = np.nonzero(self.disagreement > threshold)[0]
+        return int(above[0]) if len(above) else len(self.disagreement)
+
+
+def step_noisy_board(
+    board: Board, variant: LifeVariant, rng: np.random.Generator
+) -> Board:
+    """One generation decided entirely by the noisy variant."""
+    rows, cols = board.shape
+    out = np.zeros_like(board)
+    for r in range(rows):
+        for c in range(cols):
+            states = neighbor_states(board, r, c)
+            outcome = variant.decide(bool(board[r, c]), states, rng)
+            out[r, c] = outcome.will_be_alive
+    return out
+
+
+def run_free_dynamics(
+    variant: LifeVariant,
+    sigma: float,
+    rows: int = 12,
+    cols: int = 12,
+    generations: int = 10,
+    density: float = 0.35,
+    max_samples: int = 300,
+    rng=None,
+) -> DivergenceTrace:
+    """Evolve truth and the noisy variant side by side from one seed."""
+    rng = ensure_rng(rng)
+    true_board = random_board(rows, cols, density, rng)
+    noisy_board = true_board.copy()
+    disagreement = []
+    pop_true = []
+    pop_noisy = []
+    with evaluation_config(rng=rng, max_samples=max_samples):
+        for _ in range(generations):
+            true_board = step_board(true_board)
+            noisy_board = step_noisy_board(noisy_board, variant, rng)
+            disagreement.append(float(np.mean(true_board != noisy_board)))
+            pop_true.append(int(true_board.sum()))
+            pop_noisy.append(int(noisy_board.sum()))
+    return DivergenceTrace(
+        variant=variant.name,
+        sigma=sigma,
+        disagreement=np.asarray(disagreement),
+        population_true=np.asarray(pop_true),
+        population_noisy=np.asarray(pop_noisy),
+    )
+
+
+def compare_free_dynamics(
+    sigma: float,
+    variant_factories=None,
+    rng=None,
+    **protocol,
+) -> list[DivergenceTrace]:
+    """Run all variants from identical seeds and return their traces."""
+    from repro.life.variants import BayesLife, NaiveLife, SensorLife
+
+    if variant_factories is None:
+        variant_factories = [NaiveLife, SensorLife, BayesLife]
+    rng = ensure_rng(rng)
+    seed = int(rng.integers(0, 2**63))
+    return [
+        run_free_dynamics(
+            factory(sigma), sigma, rng=np.random.default_rng(seed), **protocol
+        )
+        for factory in variant_factories
+    ]

@@ -1,0 +1,72 @@
+"""The exact Game of Life — ground truth for the sensor experiments.
+
+Cells live on a bounded grid (no wraparound: the paper notes corner and
+edge cells have fewer sensors).  The rules, per Section 5.2:
+
+1. A live cell with 2 or 3 live neighbours lives.
+2. A live cell with fewer than 2 live neighbours dies (underpopulation).
+3. A live cell with more than 3 live neighbours dies (overcrowding).
+4. A dead cell with exactly 3 live neighbours becomes live (reproduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+Board = np.ndarray  # 2-D bool array
+
+
+def random_board(
+    rows: int = 20, cols: int = 20, density: float = 0.35, rng=None
+) -> Board:
+    """Random initial board (the paper randomly initialises a 20x20 grid)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"board must be non-empty, got {rows}x{cols}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = ensure_rng(rng)
+    return rng.random((rows, cols)) < density
+
+
+def neighbor_counts(board: Board) -> np.ndarray:
+    """Count live neighbours of every cell (bounded grid, 8-neighbourhood)."""
+    padded = np.zeros((board.shape[0] + 2, board.shape[1] + 2), dtype=np.int64)
+    padded[1:-1, 1:-1] = board.astype(np.int64)
+    counts = (
+        padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+        + padded[1:-1, :-2] + padded[1:-1, 2:]
+        + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+    )
+    return counts
+
+
+def true_decision(is_alive: bool, live_neighbors: int) -> bool:
+    """The exact rule outcome for one cell."""
+    if is_alive:
+        return 2 <= live_neighbors <= 3
+    return live_neighbors == 3
+
+
+def step_board(board: Board) -> Board:
+    """One exact generation."""
+    counts = neighbor_counts(board)
+    survive = board & ((counts == 2) | (counts == 3))
+    born = ~board & (counts == 3)
+    return survive | born
+
+
+def neighbor_states(board: Board, row: int, col: int) -> np.ndarray:
+    """True binary states of a cell's neighbours (3-8 of them on a bounded
+    grid), as the per-sensor ground truth."""
+    rows, cols = board.shape
+    states = []
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            r, c = row + dr, col + dc
+            if 0 <= r < rows and 0 <= c < cols:
+                states.append(1.0 if board[r, c] else 0.0)
+    return np.asarray(states)

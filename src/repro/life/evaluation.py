@@ -1,0 +1,133 @@
+"""The Figure 14 experiment: decision accuracy and sampling cost vs noise.
+
+The paper's protocol: random 20x20 boards, 25 generations (10,000 cell
+updates per run), 50 runs per noise level, reporting the rate of incorrect
+decisions (Figure 14a) and samples drawn per cell update (Figure 14b) for
+NaiveLife, SensorLife and BayesLife.
+
+Each generation every variant senses the *exact* board and decides every
+cell; a decision is incorrect when it differs from the exact rule outcome.
+The exact board then advances, so all variants are judged on identical,
+well-defined ground truth (errors do not compound across variants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.conditionals import evaluation_config
+from repro.life.engine import (
+    Board,
+    neighbor_states,
+    random_board,
+    step_board,
+    true_decision,
+)
+from repro.life.variants import LifeVariant
+from repro.rng import ensure_rng, spawn
+
+
+@dataclasses.dataclass
+class LifePoint:
+    """One (variant, sigma) cell of Figure 14."""
+
+    variant: str
+    sigma: float
+    error_rate: float
+    error_ci95: float
+    sensor_samples_per_update: float
+    joint_samples_per_update: float
+    updates: int
+
+
+def run_generation(
+    board: Board, variant: LifeVariant, rng: np.random.Generator
+) -> tuple[int, int, int, int]:
+    """Decide every cell of one generation.
+
+    Returns (wrong_decisions, cell_updates, sensor_samples, joint_samples).
+    """
+    from repro.life.engine import neighbor_counts
+
+    counts = neighbor_counts(board)
+    wrong = 0
+    sensor_samples = 0
+    joint_samples = 0
+    rows, cols = board.shape
+    for r in range(rows):
+        for c in range(cols):
+            is_alive = bool(board[r, c])
+            states = neighbor_states(board, r, c)
+            outcome = variant.decide(is_alive, states, rng)
+            sensor_samples += outcome.sensor_samples
+            joint_samples += outcome.joint_samples
+            if outcome.will_be_alive != true_decision(is_alive, int(counts[r, c])):
+                wrong += 1
+    return wrong, rows * cols, sensor_samples, joint_samples
+
+
+def evaluate_variant(
+    variant: LifeVariant,
+    sigma: float,
+    rows: int = 20,
+    cols: int = 20,
+    generations: int = 25,
+    runs: int = 50,
+    density: float = 0.35,
+    max_samples: int = 500,
+    rng=None,
+) -> LifePoint:
+    """Run the paper's protocol for one variant at one noise level."""
+    rng = ensure_rng(rng)
+    per_run_error = []
+    total_sensor = 0
+    total_joint = 0
+    total_updates = 0
+    for run_rng in spawn(rng, runs):
+        board = random_board(rows, cols, density, run_rng)
+        wrong = 0
+        updates = 0
+        with evaluation_config(rng=run_rng, max_samples=max_samples) as cfg:
+            for _ in range(generations):
+                w, u, s, j = run_generation(board, variant, run_rng)
+                wrong += w
+                updates += u
+                total_sensor += s
+                total_joint += j
+                board = step_board(board)
+        per_run_error.append(wrong / updates)
+        total_updates += updates
+    errors = np.asarray(per_run_error)
+    ci = 1.96 * errors.std(ddof=1) / np.sqrt(runs) if runs > 1 else 0.0
+    return LifePoint(
+        variant=variant.name,
+        sigma=sigma,
+        error_rate=float(errors.mean()),
+        error_ci95=float(ci),
+        sensor_samples_per_update=total_sensor / total_updates,
+        joint_samples_per_update=total_joint / total_updates,
+        updates=total_updates,
+    )
+
+
+def evaluate_variants(
+    sigmas: Sequence[float],
+    variant_factories=None,
+    rng=None,
+    **protocol,
+) -> list[LifePoint]:
+    """Full Figure 14 sweep: every variant at every noise level."""
+    from repro.life.variants import BayesLife, NaiveLife, SensorLife
+
+    if variant_factories is None:
+        variant_factories = [NaiveLife, SensorLife, BayesLife]
+    rng = ensure_rng(rng)
+    points = []
+    for sigma in sigmas:
+        for factory in variant_factories:
+            child = np.random.default_rng(rng.integers(0, 2**63))
+            points.append(evaluate_variant(factory(sigma), sigma, rng=child, **protocol))
+    return points

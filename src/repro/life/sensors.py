@@ -1,0 +1,81 @@
+"""Noisy sensors for the Game of Life (Section 5.2).
+
+Each cell senses each neighbour through a sensor returning the neighbour's
+binary state plus zero-mean Gaussian noise ``N(0, sigma)``.  Three sensing
+strategies:
+
+- :func:`noisy_sensor_readings` — one raw sample per sensor (NaiveLife).
+- :func:`sensor_sum` — each sensor as an ``Uncertain`` leaf, summed with the
+  overloaded ``+`` (SensorLife; the paper's ``CountLiveNeighbors``).
+- :func:`corrected_sensor_sum` — BayesLife's ``SenseNeighborFixed``: each
+  raw sample is snapped to the more likely of {0, 1} under the Gaussian
+  likelihood with equal priors (the MAP rule simplifies to nearest-of-0-or-1,
+  i.e. thresholding at 0.5), then summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.uncertain import Uncertain
+from repro.dists.gaussian import Gaussian
+from repro.dists.sampling_function import FunctionDistribution
+
+
+def noisy_sensor_readings(
+    states: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """One raw reading per neighbour sensor."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    return states + rng.normal(0.0, sigma, size=len(states))
+
+
+def sensor_leaf(state: float, sigma: float) -> Uncertain:
+    """A single noisy sensor as an Uncertain leaf: true state + N(0, sigma).
+
+    Resampling the leaf corresponds to reading the physical sensor again —
+    the paper notes each sensor "may be sampled multiple times in a single
+    generation".
+    """
+    return Uncertain(Gaussian(state, sigma), label=f"sensor({state})")
+
+
+def sensor_sum(states: np.ndarray, sigma: float) -> Uncertain:
+    """SensorLife's ``CountLiveNeighbors``: sum of Uncertain sensors.
+
+    Uses the overloaded addition operator, so the resulting Bayesian
+    network has one leaf per physical sensor.
+    """
+    if len(states) == 0:
+        raise ValueError("a cell must have at least one neighbour sensor")
+    total = sensor_leaf(float(states[0]), sigma)
+    for state in states[1:]:
+        total = total + sensor_leaf(float(state), sigma)
+    return total
+
+
+def corrected_sensor_leaf(state: float, sigma: float) -> Uncertain:
+    """BayesLife's ``SenseNeighborFixed``.
+
+    The posterior-likelihood comparison between hypotheses s=0 and s=1 with
+    equal priors and symmetric Gaussian noise reduces to choosing whichever
+    of 0 or 1 is closer to the raw reading — thresholding at 0.5.
+    """
+
+    def sample_many(n: int, rng: np.random.Generator) -> np.ndarray:
+        raw = state + rng.normal(0.0, sigma, size=n)
+        return (raw > 0.5).astype(float)
+
+    dist = FunctionDistribution(lambda rng: sample_many(1, rng)[0], fn_n=sample_many)
+    return Uncertain(dist, label=f"fixed_sensor({state})")
+
+
+def corrected_sensor_sum(states: np.ndarray, sigma: float) -> Uncertain:
+    """BayesLife's live-neighbour count: sum of MAP-corrected sensors."""
+    if len(states) == 0:
+        raise ValueError("a cell must have at least one neighbour sensor")
+    total = corrected_sensor_leaf(float(states[0]), sigma)
+    for state in states[1:]:
+        total = total + corrected_sensor_leaf(float(state), sigma)
+    return total

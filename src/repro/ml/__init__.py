@@ -1,0 +1,42 @@
+"""Machine-learning substrate for the Parakeet case study (Section 5.3).
+
+The paper approximates the Sobel operator (Parrot's image benchmark) with a
+neural network and shows that consuming the network's point prediction in an
+edge-detection conditional amplifies generalization error.  Parakeet instead
+trains a *Bayesian* neural network via hybrid (Hamiltonian) Monte Carlo and
+returns the posterior predictive distribution as an ``Uncertain[float]``.
+
+- :mod:`repro.ml.mlp` — multilayer perceptron with backprop, from scratch.
+- :mod:`repro.ml.sobel` — the exact Sobel operator (ground truth).
+- :mod:`repro.ml.images` — synthetic image corpus and window datasets.
+- :mod:`repro.ml.hmc` — Hamiltonian Monte Carlo over network weights.
+- :mod:`repro.ml.parakeet` — Parrot (single network) and Parakeet
+  (posterior-predictive ``Uncertain``) predictors.
+- :mod:`repro.ml.evaluation` — the Figure 16 precision/recall sweep.
+"""
+
+from repro.ml.mlp import MLP
+from repro.ml.sobel import sobel_magnitude, sobel_map
+from repro.ml.images import make_dataset, synthetic_image
+from repro.ml.hmc import HMCConfig, hmc_sample
+from repro.ml.parakeet import Parakeet, Parrot, train_parakeet, train_parrot
+from repro.ml.laplace import laplace_parakeet, train_laplace_parakeet
+from repro.ml.evaluation import PrecisionRecallPoint, precision_recall_sweep
+
+__all__ = [
+    "MLP",
+    "sobel_magnitude",
+    "sobel_map",
+    "synthetic_image",
+    "make_dataset",
+    "HMCConfig",
+    "hmc_sample",
+    "Parrot",
+    "Parakeet",
+    "train_parrot",
+    "train_parakeet",
+    "laplace_parakeet",
+    "train_laplace_parakeet",
+    "PrecisionRecallPoint",
+    "precision_recall_sweep",
+]

@@ -1,0 +1,141 @@
+"""Approximate-hardware simulation for neural acceleration.
+
+Parrot's original setting (Esmaeilzadeh et al., MICRO 2012) executes the
+trained network on an *analog neural processing unit* whose computation is
+itself noisy — weights stored imprecisely, activations perturbed.  The
+related-work discussion (EnerJ, Rely) is about exactly this hardware
+approximation.  This module simulates such an accelerator and exposes its
+output as an ``Uncertain[float]``, so hardware error composes with
+generalization error in the same evidence framework.
+
+Error model per invocation:
+
+- weight perturbation: ``w' = w * (1 + N(0, weight_noise))`` — analog
+  storage drift;
+- activation noise: additive ``N(0, activation_noise)`` on each hidden
+  activation — analog summation error;
+- optional stuck-at faults: a random subset of weights fixed at 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.uncertain import Uncertain
+from repro.dists.sampling_function import FunctionDistribution
+from repro.ml.mlp import MLP
+from repro.rng import ensure_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareModel:
+    """Noise characteristics of the simulated analog NPU."""
+
+    weight_noise: float = 0.02  # relative weight storage error
+    activation_noise: float = 0.01  # absolute activation error
+    stuck_at_zero_fraction: float = 0.0  # permanently faulty weights
+
+    def __post_init__(self) -> None:
+        if self.weight_noise < 0 or self.activation_noise < 0:
+            raise ValueError("noise parameters must be non-negative")
+        if not 0.0 <= self.stuck_at_zero_fraction < 1.0:
+            raise ValueError(
+                f"stuck_at_zero_fraction must be in [0, 1), got {self.stuck_at_zero_fraction}"
+            )
+
+
+class ApproximateAccelerator:
+    """A noisy analog execution engine for a trained MLP."""
+
+    def __init__(
+        self, mlp: MLP, hardware: HardwareModel | None = None, rng=None
+    ) -> None:
+        self.mlp = mlp
+        self.hardware = hardware or HardwareModel()
+        rng = ensure_rng(rng)
+        # Manufacturing defects are fixed per chip, not per invocation.
+        n_stuck = int(round(self.hardware.stuck_at_zero_fraction * mlp.n_params))
+        self._stuck = (
+            rng.choice(mlp.n_params, size=n_stuck, replace=False)
+            if n_stuck
+            else np.empty(0, dtype=int)
+        )
+
+    def _noisy_forward(
+        self, window: np.ndarray, rng: np.random.Generator
+    ) -> float:
+        hw = self.hardware
+        weights = self.mlp.weights.copy()
+        if hw.weight_noise:
+            weights = weights * (
+                1.0 + rng.normal(0.0, hw.weight_noise, size=weights.shape)
+            )
+        if len(self._stuck):
+            weights[self._stuck] = 0.0
+        layers = self.mlp.unpack(weights)
+        a = np.atleast_2d(np.asarray(window, dtype=float))
+        for i, (mat, bias) in enumerate(layers):
+            z = a @ mat + bias
+            if i < len(layers) - 1:
+                a = np.tanh(z)
+                if hw.activation_noise:
+                    a = a + rng.normal(0.0, hw.activation_noise, size=a.shape)
+            else:
+                a = z
+        return float(a[0, 0])
+
+    def invoke(self, window: np.ndarray) -> float:
+        """One (noisy) hardware invocation — what naive code consumes."""
+        from repro.rng import default_rng
+
+        return self._noisy_forward(window, default_rng(None))
+
+    def predict(self, window: np.ndarray) -> Uncertain:
+        """The accelerator's output distribution as an Uncertain value.
+
+        Each sample is a fresh noisy invocation, so the distribution
+        reflects this chip's weight drift and activation noise on this
+        input — the hardware analogue of Parakeet's PPD.
+        """
+        window = np.asarray(window, dtype=float)
+
+        def sample_many(n: int, rng: np.random.Generator) -> np.ndarray:
+            return np.array([self._noisy_forward(window, rng) for _ in range(n)])
+
+        return Uncertain(
+            FunctionDistribution(
+                lambda rng: self._noisy_forward(window, rng), fn_n=sample_many
+            ),
+            label="npu_output",
+        )
+
+
+def hardware_error_rate(
+    accelerator: ApproximateAccelerator,
+    windows: np.ndarray,
+    truths: np.ndarray,
+    threshold: float = 0.1,
+    evidence: float | None = None,
+    samples_per_input: int = 200,
+    rng=None,
+) -> float:
+    """Edge-decision error rate of the accelerator on an evaluation set.
+
+    ``evidence=None`` is the naive flow (one invocation, compare to the
+    threshold); a value uses the Uncertain flow (report an edge when the
+    evidence exceeds it).
+    """
+    rng = ensure_rng(rng)
+    truths = np.asarray(truths, dtype=float) > threshold
+    wrong = 0
+    for window, actual in zip(windows, truths):
+        if evidence is None:
+            predicted = accelerator._noisy_forward(window, rng) > threshold
+        else:
+            u = accelerator.predict(window)
+            p = (u > threshold).evidence(samples_per_input, rng)
+            predicted = p > evidence
+        wrong += predicted != actual
+    return wrong / len(truths)

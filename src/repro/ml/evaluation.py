@@ -1,0 +1,88 @@
+"""The Figure 16 experiment: precision/recall versus evidence threshold.
+
+For each evaluation window we know the ground truth ``sobel(p) > 0.1``.
+Parrot answers with its point prediction; Parakeet evaluates the evidence
+``Pr[s(p) > 0.1]`` from its PPD and reports an edge when the evidence
+exceeds a developer-chosen threshold ``alpha``.  Precision describes false
+positives, recall false negatives; sweeping ``alpha`` traces the curve the
+paper plots, with Parrot a single fixed point on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.parakeet import Parakeet, Parrot
+
+#: The paper's edge-detection threshold on gradient magnitude.
+EDGE_THRESHOLD = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class PrecisionRecallPoint:
+    """Precision/recall of one detector configuration."""
+
+    label: str
+    alpha: float | None  # evidence threshold; None for Parrot
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+
+def _precision_recall(
+    label: str, alpha: float | None, predicted: np.ndarray, actual: np.ndarray
+) -> PrecisionRecallPoint:
+    tp = int(np.sum(predicted & actual))
+    fp = int(np.sum(predicted & ~actual))
+    fn = int(np.sum(~predicted & actual))
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return PrecisionRecallPoint(label, alpha, precision, recall, tp, fp, fn)
+
+
+def parrot_point(
+    parrot: Parrot,
+    windows: np.ndarray,
+    truths: np.ndarray,
+    threshold: float = EDGE_THRESHOLD,
+) -> PrecisionRecallPoint:
+    """Parrot's fixed precision/recall point: ``prediction > threshold``."""
+    predicted = parrot.predict_batch(windows) > threshold
+    actual = np.asarray(truths, dtype=float) > threshold
+    return _precision_recall("Parrot", None, predicted, actual)
+
+
+def precision_recall_sweep(
+    parakeet: Parakeet,
+    windows: np.ndarray,
+    truths: np.ndarray,
+    alphas: Sequence[float] = tuple(np.round(np.arange(0.1, 0.95, 0.1), 2)),
+    threshold: float = EDGE_THRESHOLD,
+) -> list[PrecisionRecallPoint]:
+    """Parakeet's precision/recall curve over evidence thresholds.
+
+    Evidence is computed exactly from the PPD pool (the fraction of
+    posterior networks voting "edge"); the runtime's SPRT estimates this
+    same quantity at conditionals.
+    """
+    ppd = parakeet.ppd_matrix(windows)  # (n_windows, n_networks)
+    if parakeet.noise_sigma > 0:
+        # Marginalise the Gaussian likelihood term in closed form:
+        # Pr[t > thr] = mean over networks of Phi((y_w - thr) / sigma).
+        from scipy.stats import norm
+
+        evidence = np.mean(
+            norm.sf(threshold, loc=ppd, scale=parakeet.noise_sigma), axis=1
+        )
+    else:
+        evidence = np.mean(ppd > threshold, axis=1)
+    actual = np.asarray(truths, dtype=float) > threshold
+    return [
+        _precision_recall(f"Parakeet(alpha={a})", float(a), evidence > a, actual)
+        for a in alphas
+    ]

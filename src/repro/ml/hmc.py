@@ -1,0 +1,143 @@
+"""Hamiltonian (hybrid) Monte Carlo over neural-network weights.
+
+The paper adopts Neal's hybrid Monte Carlo to sample the weight posterior
+``p(w | D)`` and approximate the posterior predictive distribution by Monte
+Carlo integration (Section 5.3).  The posterior is the standard Bayesian
+regression form:
+
+    U(w) = ||y(X; w) - t||^2 / (2 sigma_noise^2) + ||w||^2 / (2 sigma_prior^2)
+
+HMC proposes by simulating Hamiltonian dynamics with leapfrog integration
+and accepts/rejects with Metropolis, giving far better movement through the
+89-dimensional weight space than a random walk.  As the paper does, we
+discard most samples and retain every ``thin``-th one to reduce the chain's
+autocorrelation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.ml.mlp import MLP
+from repro.rng import ensure_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class HMCConfig:
+    """Tuning parameters for the sampler.
+
+    The paper notes hybrid Monte Carlo "often requires hand tuning to
+    achieve practical rejection rates" — these defaults were hand-tuned on
+    the Sobel task.
+    """
+
+    n_samples: int = 40  # posterior networks to keep
+    thin: int = 10  # keep every thin-th accepted state
+    burn_in: int = 200  # discarded warm-up iterations
+    leapfrog_steps: int = 20
+    step_size: float = 2e-3
+    noise_sigma: float = 0.05  # observation noise scale
+    prior_sigma: float = 1.0  # Gaussian weight prior scale
+    #: Adapt step size during burn-in toward this acceptance rate; the
+    #: paper notes HMC "often requires hand tuning to achieve practical
+    #: rejection rates" — this automates that tuning.
+    target_acceptance: float = 0.7
+    adapt_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0 or self.thin <= 0 or self.leapfrog_steps <= 0:
+            raise ValueError("n_samples, thin and leapfrog_steps must be positive")
+        if self.step_size <= 0 or self.noise_sigma <= 0 or self.prior_sigma <= 0:
+            raise ValueError("step_size, noise_sigma and prior_sigma must be positive")
+
+
+@dataclasses.dataclass
+class HMCResult:
+    """Posterior weight samples plus chain diagnostics."""
+
+    samples: np.ndarray  # (n_samples, n_params)
+    acceptance_rate: float
+    potential_trace: list[float]
+    final_step_size: float = 0.0
+
+
+def hmc_sample(
+    mlp: MLP,
+    x: np.ndarray,
+    t: np.ndarray,
+    config: HMCConfig | None = None,
+    rng=None,
+) -> HMCResult:
+    """Sample network weights from the posterior given data ``(x, t)``.
+
+    The chain starts at the network's current (typically pre-trained)
+    weights, which dramatically shortens burn-in — the standard trick for
+    Bayesian neural networks.
+    """
+    config = config or HMCConfig()
+    rng = ensure_rng(rng)
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    t = np.asarray(t, dtype=float)
+
+    inv_noise_var = 1.0 / config.noise_sigma**2
+    inv_prior_var = 1.0 / config.prior_sigma**2
+
+    def potential_and_grad(w: np.ndarray) -> tuple[float, np.ndarray]:
+        loss, grad = mlp.forward_backward(x, t, w)
+        u = loss * inv_noise_var + 0.5 * inv_prior_var * float(w @ w)
+        g = grad * inv_noise_var + inv_prior_var * w
+        return u, g
+
+    w = mlp.weights.copy()
+    u, grad_u = potential_and_grad(w)
+
+    kept: list[np.ndarray] = []
+    trace: list[float] = []
+    accepted = 0
+    proposals = 0
+    step_size = config.step_size
+    total_iterations = config.burn_in + config.n_samples * config.thin
+
+    for iteration in range(total_iterations):
+        momentum = rng.standard_normal(w.size)
+        kinetic0 = 0.5 * float(momentum @ momentum)
+
+        # Leapfrog integration of Hamiltonian dynamics.
+        w_new = w.copy()
+        grad_new = grad_u
+        p = momentum - 0.5 * step_size * grad_new
+        for step in range(config.leapfrog_steps):
+            w_new = w_new + step_size * p
+            u_new, grad_new = potential_and_grad(w_new)
+            if step < config.leapfrog_steps - 1:
+                p = p - step_size * grad_new
+        p = p - 0.5 * step_size * grad_new
+
+        kinetic1 = 0.5 * float(p @ p)
+        log_accept = (u + kinetic0) - (u_new + kinetic1)
+        took = np.isfinite(log_accept) and np.log(rng.random()) < log_accept
+        if took:
+            w, u, grad_u = w_new, u_new, grad_new
+        trace.append(u)
+
+        if iteration < config.burn_in:
+            # Robbins-Monro-style multiplicative adaptation: in equilibrium
+            # the up-moves (on accept) balance the down-moves (on reject)
+            # exactly at the target acceptance rate.
+            direction = (1.0 - config.target_acceptance) if took else -config.target_acceptance
+            step_size *= float(np.exp(config.adapt_rate * direction))
+        else:
+            proposals += 1
+            accepted += int(took)
+            k = iteration - config.burn_in
+            if (k + 1) % config.thin == 0:
+                kept.append(w.copy())
+
+    return HMCResult(
+        samples=np.asarray(kept),
+        acceptance_rate=accepted / proposals if proposals else 0.0,
+        potential_trace=trace,
+        final_step_size=step_size,
+    )

@@ -1,0 +1,77 @@
+"""Synthetic image corpus for training and evaluating the Sobel networks.
+
+The paper trains on 5000 examples and evaluates on a separate 500
+(substitution #3 in DESIGN.md: any image corpus with a realistic mix of
+edges and smooth regions exercises the same generalization-error
+phenomenon).  We compose smooth random fields with hard-edged geometric
+shapes so the window dataset contains genuine edges, genuine flats, and
+everything between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.sobel import extract_windows, sobel_magnitude
+from repro.rng import ensure_rng
+
+
+def _smooth_field(size: int, rng: np.random.Generator, passes: int = 4) -> np.ndarray:
+    """Low-frequency random field in [0, 1] via repeated box blurring."""
+    field = rng.random((size, size))
+    kernel = np.ones(5) / 5.0
+    for _ in range(passes):
+        field = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 1, field
+        )
+        field = np.apply_along_axis(
+            lambda col: np.convolve(col, kernel, mode="same"), 0, field
+        )
+    lo, hi = field.min(), field.max()
+    return (field - lo) / (hi - lo) if hi > lo else field
+
+
+def synthetic_image(size: int = 48, n_shapes: int = 4, rng=None) -> np.ndarray:
+    """A grayscale image mixing smooth gradients and hard-edged shapes."""
+    if size < 8:
+        raise ValueError(f"size must be at least 8, got {size}")
+    rng = ensure_rng(rng)
+    image = 0.5 * _smooth_field(size, rng)
+    for _ in range(n_shapes):
+        intensity = rng.uniform(0.3, 1.0)
+        if rng.random() < 0.5:  # axis-aligned rectangle
+            r0, c0 = rng.integers(0, size - 4, size=2)
+            r1 = rng.integers(r0 + 2, min(r0 + size // 2, size))
+            c1 = rng.integers(c0 + 2, min(c0 + size // 2, size))
+            image[r0:r1, c0:c1] = intensity
+        else:  # filled disc
+            cr, cc = rng.integers(4, size - 4, size=2)
+            radius = rng.integers(2, size // 4)
+            rr, cc_grid = np.ogrid[:size, :size]
+            mask = (rr - cr) ** 2 + (cc_grid - cc) ** 2 <= radius**2
+            image[mask] = intensity
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_dataset(
+    n_examples: int,
+    image_size: int = 48,
+    images: int | None = None,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_examples`` (window, sobel) pairs from synthetic images.
+
+    Returns ``(x, t)`` with ``x`` of shape (n, 9) and ``t`` of shape (n,).
+    """
+    if n_examples <= 0:
+        raise ValueError(f"n_examples must be positive, got {n_examples}")
+    rng = ensure_rng(rng)
+    images = images if images is not None else max(4, n_examples // 500)
+    xs = []
+    for _ in range(images):
+        xs.append(extract_windows(synthetic_image(image_size, rng=rng)))
+    pool = np.concatenate(xs)
+    idx = rng.choice(len(pool), size=n_examples, replace=len(pool) < n_examples)
+    x = pool[idx]
+    t = np.asarray(sobel_magnitude(x.reshape(-1, 3, 3)))
+    return x, t

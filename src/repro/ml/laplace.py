@@ -1,0 +1,110 @@
+"""Gaussian (Laplace) approximation to the weight posterior.
+
+The paper notes hybrid Monte Carlo's downsides (many network executions,
+hand tuning) and that "a Gaussian approximation to the PPD would mitigate
+all these downsides, but may be an inappropriate approximation in some
+cases" (Section 5.3).  This module implements that alternative: a Laplace
+approximation around the SGD optimum with a Gauss-Newton diagonal Hessian,
+
+    p(w | D) ~ N(w*, H^-1),
+    H_jj = sum_i J_ij^2 / sigma_noise^2 + 1 / sigma_prior^2,
+
+where J is the per-example output Jacobian.  Sampling the approximate
+posterior is a cheap Gaussian draw — no chains, no rejection — and the
+result plugs into the same :class:`~repro.ml.parakeet.Parakeet` runtime, so
+the ablation bench can compare the two PPDs head to head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.mlp import MLP
+from repro.ml.parakeet import Parakeet, SOBEL_TOPOLOGY
+from repro.rng import ensure_rng
+
+
+def output_jacobian(mlp: MLP, x: np.ndarray, w: np.ndarray | None = None) -> np.ndarray:
+    """Per-example gradient of the (single) output w.r.t. the flat weights.
+
+    Returns shape ``(n, n_params)``.  Only defined for single-output
+    networks (which is what the Sobel approximator is).
+    """
+    if mlp.sizes[-1] != 1:
+        raise ValueError("output_jacobian requires a single-output network")
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    layers = mlp.unpack(w)
+    n = len(x)
+
+    activations = [x]
+    a = x
+    for i, (mat, bias) in enumerate(layers):
+        z = a @ mat + bias
+        a = z if i == len(layers) - 1 else np.tanh(z)
+        activations.append(a)
+
+    grads: list[np.ndarray] = []
+    delta = np.ones((n, 1))  # d(output)/d(output) per example
+    for i in reversed(range(len(layers))):
+        a_prev = activations[i]
+        # Per-example outer products a_prev (n, in) x delta (n, out).
+        grad_w = np.einsum("ni,nj->nij", a_prev, delta).reshape(n, -1)
+        grad_b = delta
+        grads.append(grad_b)
+        grads.append(grad_w)
+        if i > 0:
+            mat, _ = layers[i]
+            delta = (delta @ mat.T) * (1.0 - activations[i] ** 2)
+    grads.reverse()
+    return np.concatenate([g.reshape(n, -1) for g in grads], axis=1)
+
+
+def laplace_weight_posterior(
+    mlp: MLP,
+    x: np.ndarray,
+    t: np.ndarray,
+    noise_sigma: float = 0.05,
+    prior_sigma: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(mean, variance-diagonal) of the Gaussian weight posterior."""
+    if noise_sigma <= 0 or prior_sigma <= 0:
+        raise ValueError("noise_sigma and prior_sigma must be positive")
+    jac = output_jacobian(mlp, x)
+    hessian_diag = (jac**2).sum(axis=0) / noise_sigma**2 + 1.0 / prior_sigma**2
+    return mlp.weights.copy(), 1.0 / hessian_diag
+
+
+def laplace_parakeet(
+    mlp: MLP,
+    x: np.ndarray,
+    t: np.ndarray,
+    pool_size: int = 40,
+    noise_sigma: float = 0.05,
+    prior_sigma: float = 1.0,
+    rng=None,
+) -> Parakeet:
+    """Build a Parakeet whose weight pool samples the Laplace posterior."""
+    if pool_size <= 0:
+        raise ValueError(f"pool_size must be positive, got {pool_size}")
+    rng = ensure_rng(rng)
+    mean, var_diag = laplace_weight_posterior(mlp, x, t, noise_sigma, prior_sigma)
+    pool = mean + rng.standard_normal((pool_size, mean.size)) * np.sqrt(var_diag)
+    return Parakeet(mlp, pool, noise_sigma=noise_sigma)
+
+
+def train_laplace_parakeet(
+    x: np.ndarray,
+    t: np.ndarray,
+    topology=SOBEL_TOPOLOGY,
+    epochs: int = 300,
+    pool_size: int = 40,
+    noise_sigma: float = 0.05,
+    rng=None,
+) -> Parakeet:
+    """SGD training followed by the Laplace posterior — the cheap pipeline."""
+    rng = ensure_rng(rng)
+    mlp = MLP(topology, rng=rng)
+    mlp.train_sgd(x, t, epochs=epochs, rng=rng)
+    return laplace_parakeet(
+        mlp, x, t, pool_size=pool_size, noise_sigma=noise_sigma, rng=rng
+    )

@@ -1,0 +1,161 @@
+"""A small multilayer perceptron with backpropagation, from scratch.
+
+Parrot's Sobel benchmark uses a 9-8-1 topology; this implementation keeps
+weights accessible as a single flat vector because Hamiltonian Monte Carlo
+(:mod:`repro.ml.hmc`) treats the network as a point in weight space and
+needs ``grad U(w)`` for arbitrary ``w``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_grad(activation: np.ndarray) -> np.ndarray:
+    return 1.0 - activation**2
+
+
+class MLP:
+    """Fully connected network with tanh hidden layers and linear output.
+
+    Weights are stored as a flat vector; :meth:`unpack` views it as per-layer
+    matrices.  All computation is vectorised over example batches.
+    """
+
+    def __init__(self, sizes: Sequence[int], rng=None) -> None:
+        if len(sizes) < 2:
+            raise ValueError(f"need at least input and output sizes, got {sizes}")
+        if any(s <= 0 for s in sizes):
+            raise ValueError(f"layer sizes must be positive, got {sizes}")
+        self.sizes = tuple(int(s) for s in sizes)
+        self._shapes = [
+            ((self.sizes[i], self.sizes[i + 1]), (self.sizes[i + 1],))
+            for i in range(len(self.sizes) - 1)
+        ]
+        self.n_params = sum(w[0] * w[1] + b[0] for w, b in self._shapes)
+        rng = ensure_rng(rng)
+        # Xavier initialisation.
+        chunks = []
+        for (w_shape, b_shape) in self._shapes:
+            scale = np.sqrt(2.0 / (w_shape[0] + w_shape[1]))
+            chunks.append(rng.normal(0.0, scale, size=w_shape).ravel())
+            chunks.append(np.zeros(b_shape))
+        self.weights = np.concatenate(chunks)
+
+    def unpack(self, w: np.ndarray | None = None) -> list[tuple[np.ndarray, np.ndarray]]:
+        """View a flat weight vector as [(W1, b1), (W2, b2), ...]."""
+        w = self.weights if w is None else w
+        if w.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} parameters, got {w.shape}")
+        layers = []
+        offset = 0
+        for (w_shape, b_shape) in self._shapes:
+            size = w_shape[0] * w_shape[1]
+            mat = w[offset : offset + size].reshape(w_shape)
+            offset += size
+            bias = w[offset : offset + b_shape[0]]
+            offset += b_shape[0]
+            layers.append((mat, bias))
+        return layers
+
+    def forward(self, x: np.ndarray, w: np.ndarray | None = None) -> np.ndarray:
+        """Predict outputs for a batch ``x`` of shape (n, in_dim).
+
+        Returns shape (n,) when the output layer has one unit, else
+        (n, out_dim).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        a = x
+        layers = self.unpack(w)
+        for i, (mat, bias) in enumerate(layers):
+            z = a @ mat + bias
+            a = z if i == len(layers) - 1 else _tanh(z)
+        return a[:, 0] if a.shape[1] == 1 else a
+
+    def forward_backward(
+        self,
+        x: np.ndarray,
+        t: np.ndarray,
+        w: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        """Sum-of-squares loss and its gradient w.r.t. the flat weights.
+
+        Loss is ``0.5 * sum((y - t)^2)`` over the batch (un-normalised, as
+        the HMC potential requires; divide by ``len(x)`` for a mean loss).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        t = np.asarray(t, dtype=float).reshape(len(x), -1)
+        layers = self.unpack(w)
+
+        activations = [x]
+        a = x
+        for i, (mat, bias) in enumerate(layers):
+            z = a @ mat + bias
+            a = z if i == len(layers) - 1 else _tanh(z)
+            activations.append(a)
+
+        y = activations[-1]
+        diff = y - t
+        loss = 0.5 * float(np.sum(diff**2))
+
+        grads: list[np.ndarray] = []
+        delta = diff  # linear output layer
+        for i in reversed(range(len(layers))):
+            a_prev = activations[i]
+            grad_w = a_prev.T @ delta
+            grad_b = delta.sum(axis=0)
+            grads.append(grad_b)
+            grads.append(grad_w.ravel())
+            if i > 0:
+                mat, _ = layers[i]
+                delta = (delta @ mat.T) * _tanh_grad(activations[i])
+        grads.reverse()
+        return loss, np.concatenate([g.ravel() for g in grads])
+
+    def train_sgd(
+        self,
+        x: np.ndarray,
+        t: np.ndarray,
+        epochs: int = 200,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-5,
+        rng=None,
+    ) -> list[float]:
+        """Minibatch SGD with momentum; returns per-epoch mean losses."""
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        t = np.asarray(t, dtype=float)
+        rng = ensure_rng(rng)
+        velocity = np.zeros_like(self.weights)
+        history = []
+        n = len(x)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                loss, grad = self.forward_backward(x[idx], t[idx])
+                grad = grad / len(idx) + weight_decay * self.weights
+                velocity = momentum * velocity - learning_rate * grad
+                self.weights = self.weights + velocity
+                epoch_loss += loss
+            history.append(epoch_loss / n)
+        return history
+
+    def rmse(self, x: np.ndarray, t: np.ndarray, w: np.ndarray | None = None) -> float:
+        """Root-mean-square prediction error (the paper reports 3.4% for
+        Parrot's Sobel approximation)."""
+        y = self.forward(x, w)
+        t = np.asarray(t, dtype=float).reshape(y.shape)
+        return float(np.sqrt(np.mean((y - t) ** 2)))

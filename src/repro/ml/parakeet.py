@@ -1,0 +1,130 @@
+"""Parrot and Parakeet predictors (Section 5.3).
+
+Parrot (Esmaeilzadeh et al.) trains one network and returns a point
+estimate — a ``float``.  Parakeet trains a Bayesian neural network and
+returns the posterior predictive distribution (PPD) as an
+``Uncertain[float]``, so the developer can ask evidence questions like
+``(s > 0.1).pr(0.8)``.
+
+As in the paper, hybrid Monte Carlo runs *offline*: a fixed pool of weight
+samples is captured in a training phase, and at runtime the PPD's sampling
+function resamples precomputed network outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.uncertain import Uncertain
+from repro.dists.sampling_function import FunctionDistribution
+from repro.ml.hmc import HMCConfig, HMCResult, hmc_sample
+from repro.ml.mlp import MLP
+from repro.rng import ensure_rng
+
+#: Parrot's Sobel network topology: a 3x3 window in, one gradient out.
+SOBEL_TOPOLOGY = (9, 8, 1)
+
+
+@dataclasses.dataclass
+class Parrot:
+    """A single trained network: predictions are facts (floats)."""
+
+    mlp: MLP
+
+    def predict(self, window: np.ndarray) -> float:
+        return float(self.mlp.forward(np.atleast_2d(window))[0])
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        return self.mlp.forward(windows)
+
+
+@dataclasses.dataclass
+class Parakeet:
+    """A Bayesian network ensemble: predictions are distributions.
+
+    ``weight_pool`` holds the HMC posterior samples.  The posterior
+    predictive distribution is ``p(t|x, D) = \\int p(t|x, w) p(w|D) dw``
+    with ``p(t|x, w) = N(y(x; w), noise_sigma)``: a runtime PPD sample
+    picks one posterior network from the pool and adds a fresh draw of the
+    modelled observation noise.
+    """
+
+    mlp: MLP
+    weight_pool: np.ndarray  # (n_networks, n_params)
+    noise_sigma: float = 0.05
+    diagnostics: HMCResult | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.weight_pool) == 0:
+            raise ValueError("Parakeet needs a non-empty posterior weight pool")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+
+    def ppd_values(self, window: np.ndarray) -> np.ndarray:
+        """Every posterior network's (noiseless) prediction for one input."""
+        window = np.atleast_2d(np.asarray(window, dtype=float))
+        return np.asarray(
+            [float(self.mlp.forward(window, w)[0]) for w in self.weight_pool]
+        )
+
+    def predict(self, window: np.ndarray) -> Uncertain:
+        """The posterior predictive distribution as an Uncertain value.
+
+        The network outputs are precomputed into a fixed pool (the paper's
+        offline-HMC strategy); the sampling function resamples the pool and
+        adds the likelihood noise.
+        """
+        pool = self.ppd_values(window)
+        sigma = self.noise_sigma
+
+        def sample_many(n: int, rng: np.random.Generator) -> np.ndarray:
+            picks = pool[rng.integers(0, len(pool), size=n)]
+            return picks + rng.normal(0.0, sigma, size=n) if sigma else picks
+
+        dist = FunctionDistribution(
+            lambda rng: sample_many(1, rng)[0], fn_n=sample_many
+        )
+        return Uncertain(dist, label="parakeet_ppd")
+
+    def ppd_matrix(self, windows: np.ndarray) -> np.ndarray:
+        """PPD pools for a batch: shape (n_windows, n_networks).
+
+        Used by the evaluation sweep, which needs every example's pool.
+        """
+        windows = np.atleast_2d(np.asarray(windows, dtype=float))
+        return np.stack(
+            [self.mlp.forward(windows, w) for w in self.weight_pool], axis=1
+        )
+
+
+def train_parrot(
+    x: np.ndarray,
+    t: np.ndarray,
+    topology=SOBEL_TOPOLOGY,
+    epochs: int = 300,
+    rng=None,
+) -> Parrot:
+    """Train the single-network baseline with SGD."""
+    rng = ensure_rng(rng)
+    mlp = MLP(topology, rng=rng)
+    mlp.train_sgd(x, t, epochs=epochs, rng=rng)
+    return Parrot(mlp)
+
+
+def train_parakeet(
+    x: np.ndarray,
+    t: np.ndarray,
+    topology=SOBEL_TOPOLOGY,
+    pretrain_epochs: int = 300,
+    hmc_config: HMCConfig | None = None,
+    rng=None,
+) -> Parakeet:
+    """Train the Bayesian ensemble: SGD pre-training, then HMC sampling."""
+    rng = ensure_rng(rng)
+    mlp = MLP(topology, rng=rng)
+    mlp.train_sgd(x, t, epochs=pretrain_epochs, rng=rng)
+    config = hmc_config or HMCConfig()
+    result = hmc_sample(mlp, x, t, config=config, rng=rng)
+    return Parakeet(mlp, result.samples, noise_sigma=config.noise_sigma, diagnostics=result)

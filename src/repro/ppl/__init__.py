@@ -1,0 +1,39 @@
+"""A tiny generative probabilistic programming language (Section 6).
+
+The paper contrasts Uncertain<T> with generative PPLs (Church, IBAL, Fun):
+those languages build a joint model, and inference — e.g. by rejection
+sampling against observations — must execute *both* sides of conditionals
+and pays dearly for rare evidence.  Figure 17's alarm example has a 0.11%
+acceptance rate, which is why Church took 20 seconds to draw 100 samples.
+
+This package implements just enough of such a language to reproduce that
+comparison honestly: generative models as Python functions over a
+:class:`Trace`, with ``observe``/rejection-based posterior queries.
+"""
+
+from repro.ppl.language import Observe, RejectionResult, Trace, rejection_query
+from repro.ppl.alarm import (
+    alarm_model,
+    exact_phone_working_posterior,
+    run_alarm_comparison,
+)
+from repro.ppl.importance import (
+    WeightedResult,
+    WeightedTrace,
+    alarm_model_weighted,
+    likelihood_weighting,
+)
+
+__all__ = [
+    "Trace",
+    "Observe",
+    "RejectionResult",
+    "rejection_query",
+    "alarm_model",
+    "exact_phone_working_posterior",
+    "run_alarm_comparison",
+    "WeightedTrace",
+    "WeightedResult",
+    "likelihood_weighting",
+    "alarm_model_weighted",
+]

@@ -1,0 +1,135 @@
+"""Likelihood weighting — a smarter inference baseline than rejection.
+
+Rejection sampling discards whole executions; likelihood weighting
+(importance sampling with the prior as proposal) instead *scores* each
+execution by the probability of its observations, never wasting a run.
+For the alarm model, observing ``alarm`` weights each execution by
+Pr[alarm | earthquake, burglary] instead of rejecting 99.9% of them.
+
+This strengthens the Figure 17 comparison: even against a better
+generative-inference baseline, Uncertain<T>'s conditional sampling answers
+its (narrower) question with far fewer model evaluations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+class WeightedTrace:
+    """Execution handle for likelihood-weighted models.
+
+    ``flip_observed``/``factor`` accumulate log-weight instead of
+    rejecting; unobserved choices sample forward as usual.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.log_weight = 0.0
+
+    def flip(self, p: float, name: str = "flip") -> bool:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        return bool(self._rng.random() < p)
+
+    def flip_observed(self, p: float, observed: bool, name: str = "flip") -> bool:
+        """A flip whose outcome is pinned by observation: weight by its
+        probability instead of sampling."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        prob = p if observed else 1.0 - p
+        self.log_weight += math.log(prob) if prob > 0 else -math.inf
+        return observed
+
+    def factor(self, log_prob: float, name: str = "factor") -> None:
+        """Multiply the execution's weight by exp(log_prob)."""
+        self.log_weight += log_prob
+
+
+@dataclasses.dataclass
+class WeightedResult:
+    """Weighted posterior samples plus diagnostics."""
+
+    samples: list[Any]
+    log_weights: np.ndarray
+    executions: int
+
+    @property
+    def weights(self) -> np.ndarray:
+        lw = self.log_weights - self.log_weights.max()
+        w = np.exp(lw)
+        return w / w.sum()
+
+    @property
+    def effective_sample_size(self) -> float:
+        w = self.weights
+        return float(1.0 / np.sum(w**2))
+
+    def estimate(self) -> float:
+        """Weighted posterior mean of a numeric/boolean query value."""
+        values = np.array([float(s) for s in self.samples])
+        return float(np.dot(self.weights, values))
+
+
+def likelihood_weighting(
+    model: Callable[[WeightedTrace], Any],
+    n_samples: int,
+    rng=None,
+) -> WeightedResult:
+    """Run ``model`` ``n_samples`` times, collecting weighted samples."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    rng = ensure_rng(rng)
+    samples: list[Any] = []
+    log_weights: list[float] = []
+    for _ in range(n_samples):
+        trace = WeightedTrace(rng)
+        samples.append(model(trace))
+        log_weights.append(trace.log_weight)
+    return WeightedResult(samples, np.asarray(log_weights), n_samples)
+
+
+#: Sensor reliability for the noisy-alarm variant below.
+ALARM_SENSOR_TPR = 0.99  # Pr[sensor fires | alarm]
+ALARM_SENSOR_FPR = 0.0001  # Pr[sensor fires | no alarm]
+
+
+def alarm_model_weighted(trace: WeightedTrace) -> bool:
+    """A noisy-sensor variant of Figure 17 in likelihood-weighting form.
+
+    With a *deterministic* observation (``observe(alarm)``) likelihood
+    weighting degenerates to rejection — executions that cannot produce
+    the evidence get zero weight.  Real deployments observe a noisy alarm
+    *sensor*; then every execution carries positive weight
+    (``flip_observed``) and none is wasted.
+    """
+    earthquake = trace.flip(0.0001, "earthquake")
+    burglary = trace.flip(0.001, "burglary")
+    alarm = earthquake or burglary
+    fire_prob = ALARM_SENSOR_TPR if alarm else ALARM_SENSOR_FPR
+    trace.flip_observed(fire_prob, True, "alarmSensor")
+    if earthquake:
+        return trace.flip(0.7, "phoneWorking")
+    return trace.flip(0.99, "phoneWorking")
+
+
+def exact_noisy_alarm_posterior() -> float:
+    """Enumerated Pr[phoneWorking | alarmSensor] for the noisy variant."""
+    p_eq, p_bg = 0.0001, 0.001
+    numerator = 0.0
+    denominator = 0.0
+    for eq in (True, False):
+        for bg in (True, False):
+            p_world = (p_eq if eq else 1 - p_eq) * (p_bg if bg else 1 - p_bg)
+            alarm = eq or bg
+            p_sensor = ALARM_SENSOR_TPR if alarm else ALARM_SENSOR_FPR
+            p_phone = 0.7 if eq else 0.99
+            denominator += p_world * p_sensor
+            numerator += p_world * p_sensor * p_phone
+    return numerator / denominator

@@ -1,0 +1,97 @@
+"""The generative-model language: traces, observe, rejection queries."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+class Observe(Exception):
+    """Raised internally when an execution violates an observation."""
+
+
+class Trace:
+    """One stochastic execution of a generative model.
+
+    Models are plain Python functions ``model(trace) -> value``; they draw
+    randomness through the trace (``flip``, ``uniform``, ``gaussian``) and
+    constrain executions with ``observe``.  Rejection inference simply
+    re-executes the model until the observations hold — executing *both*
+    branches of conditionals across executions, which is precisely the cost
+    Uncertain<T> avoids.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.choices: list[tuple[str, Any]] = []
+
+    def flip(self, p: float, name: str = "flip") -> bool:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        value = bool(self._rng.random() < p)
+        self.choices.append((name, value))
+        return value
+
+    def uniform(self, low: float, high: float, name: str = "uniform") -> float:
+        value = float(self._rng.uniform(low, high))
+        self.choices.append((name, value))
+        return value
+
+    def gaussian(self, mu: float, sigma: float, name: str = "gaussian") -> float:
+        value = float(self._rng.normal(mu, sigma))
+        self.choices.append((name, value))
+        return value
+
+    def observe(self, condition: bool, name: str = "observe") -> None:
+        """Constrain the execution; a violated observation rejects it."""
+        if not condition:
+            raise Observe(name)
+
+
+@dataclasses.dataclass
+class RejectionResult:
+    """Posterior samples plus the cost of obtaining them."""
+
+    samples: list[Any]
+    executions: int  # total model executions (accepted + rejected)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return len(self.samples) / self.executions if self.executions else 0.0
+
+    def estimate(self) -> float:
+        """Posterior mean of a boolean/numeric query value."""
+        if not self.samples:
+            raise ValueError("no accepted samples to estimate from")
+        return float(np.mean([float(s) for s in self.samples]))
+
+
+def rejection_query(
+    model: Callable[[Trace], Any],
+    n_samples: int,
+    max_executions: int = 10_000_000,
+    rng=None,
+) -> RejectionResult:
+    """Draw posterior samples by rejection: re-run until observations hold.
+
+    ``max_executions`` bounds the total work; hitting it returns however
+    many samples were accepted (possibly fewer than requested), mirroring
+    how rare evidence starves rejection samplers.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    rng = ensure_rng(rng)
+    samples: list[Any] = []
+    executions = 0
+    while len(samples) < n_samples and executions < max_executions:
+        executions += 1
+        trace = Trace(rng)
+        try:
+            samples.append(model(trace))
+        except Observe:
+            continue
+    return RejectionResult(samples, executions)

@@ -1,0 +1,89 @@
+"""Tests for the CES-style prob<T> baseline."""
+
+import pytest
+
+from repro.baselines.ces import ProbT
+from repro.rng import default_rng
+
+
+class TestConstruction:
+    def test_normalisation(self):
+        p = ProbT([(1, 2.0), (2, 6.0)])
+        assert p.probability(1) == pytest.approx(0.25)
+        assert p.probability(2) == pytest.approx(0.75)
+
+    def test_merging_duplicates(self):
+        p = ProbT([(1, 0.25), (1, 0.25), (2, 0.5)])
+        assert p.support_size == 2
+        assert p.probability(1) == pytest.approx(0.5)
+
+    def test_zero_mass_dropped(self):
+        p = ProbT([(1, 0.5), (2, 0.0), (3, 0.5)])
+        assert p.support_size == 2
+
+    def test_point_and_uniform(self):
+        assert ProbT.point(5).probability(5) == 1.0
+        d6 = ProbT.uniform(range(1, 7))
+        assert d6.probability(3) == pytest.approx(1 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbT([])
+        with pytest.raises(ValueError):
+            ProbT([(1, -0.5)])
+
+
+class TestCombination:
+    def test_two_dice(self):
+        d6 = ProbT.uniform(range(1, 7))
+        total = d6 + d6  # NOTE: independent dice, unlike Uncertain sharing
+        assert total.probability(7) == pytest.approx(6 / 36)
+        assert total.probability(2) == pytest.approx(1 / 36)
+        assert total.support_size == 11
+
+    def test_support_blowup(self):
+        # The baseline's cost model: support size multiplies generically
+        # (primes avoid accidental product collisions).
+        base = ProbT.uniform([2, 3, 5, 7, 11, 13, 17, 19])
+        product = base * base
+        assert product.support_size > 30  # 8 squares + C(8,2) cross terms
+
+    def test_repeated_addition_grows_support(self):
+        coin = ProbT.uniform([0.0, 1.0])
+        acc = coin
+        for _ in range(9):
+            acc = acc + coin
+        assert acc.support_size == 11  # binomial collapses; values merge
+
+    def test_map(self):
+        p = ProbT.uniform([-1, 0, 1]).map(abs)
+        assert p.probability(1) == pytest.approx(2 / 3)
+
+    def test_subtraction(self):
+        coin = ProbT.uniform([0, 1])
+        diff = coin - coin
+        # Independent coins: not zero (contrast with Uncertain's x - x).
+        assert diff.support_size == 3
+
+
+class TestQueries:
+    def test_expected_value(self):
+        d6 = ProbT.uniform(range(1, 7))
+        assert d6.expected_value() == pytest.approx(3.5)
+
+    def test_exact_evidence(self):
+        d6 = ProbT.uniform(range(1, 7))
+        assert d6.pr_greater(4) == pytest.approx(2 / 6)
+
+    def test_sampling(self):
+        p = ProbT([(0, 0.2), (1, 0.8)])
+        rng = default_rng(0)
+        draws = [p.sample(rng) for _ in range(2_000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.8, abs=0.03)
+
+    def test_continuous_is_out_of_reach(self):
+        # There is no finite pair list for a Gaussian: the baseline can only
+        # discretise, which is the paper's point.  (Nothing to assert beyond
+        # the type's constructor requiring explicit finite support.)
+        with pytest.raises(TypeError):
+            ProbT(None)  # type: ignore[arg-type]

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import default_rng
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Deterministic per-test generator (seeded from the test's node id)."""
+    seed = abs(hash(request.node.nodeid)) % (2**31)
+    return default_rng(seed)
+
+
+@pytest.fixture
+def fixed_rng() -> np.random.Generator:
+    """A generator with a fixed, test-independent seed."""
+    return default_rng(12345)

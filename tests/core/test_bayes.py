@@ -1,0 +1,129 @@
+"""Tests for priors and posterior construction (Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bayes import Prior, posterior
+from repro.core.uncertain import Uncertain
+from repro.dists import Gaussian, TruncatedGaussian, Uniform
+from repro.rng import default_rng
+
+
+class TestPrior:
+    def test_from_distribution_weights(self):
+        prior = Prior.from_distribution(Gaussian(0.0, 1.0))
+        w = prior.weight(np.array([0.0, 3.0]))
+        assert w[0] > w[1] > 0.0
+
+    def test_from_weights_scalar_function(self):
+        prior = Prior.from_weights(lambda v: 1.0 if v > 0 else 0.0)
+        w = prior.weight(np.array([-1.0, 1.0]))
+        assert list(w) == [0.0, 1.0]
+
+    def test_vectorised_weight_function(self):
+        prior = Prior.from_weights(lambda v: np.exp(-np.abs(v)))
+        w = prior.weight(np.array([0.0, 1.0]))
+        assert w[0] == pytest.approx(1.0)
+
+    def test_object_values_fall_back_to_scalar_path(self):
+        class Point:
+            def __init__(self, x):
+                self.x = x
+
+        prior = Prior.from_weights(lambda p: abs(p.x))
+        values = np.empty(2, dtype=object)
+        values[:] = [Point(2.0), Point(-3.0)]
+        assert list(prior.weight(values)) == [2.0, 3.0]
+
+    def test_negative_weights_rejected(self):
+        prior = Prior.from_weights(lambda v: -1.0)
+        with pytest.raises(ValueError):
+            prior.weight(np.array([1.0]))
+
+    def test_non_finite_weights_rejected(self):
+        prior = Prior.from_weights(lambda v: float("inf"))
+        with pytest.raises(ValueError):
+            prior.weight(np.array([1.0]))
+
+    def test_combination_multiplies(self):
+        a = Prior.from_weights(lambda v: 2.0, label="a")
+        b = Prior.from_weights(lambda v: 3.0, label="b")
+        combined = a & b
+        assert np.allclose(combined.weight(np.array([1.0, 2.0])), 6.0)
+        assert "a" in combined.label and "b" in combined.label
+
+    def test_combination_type_check(self):
+        a = Prior.from_weights(lambda v: 1.0)
+        with pytest.raises(TypeError):
+            _ = a & 3.0
+
+
+class TestPosterior:
+    def test_sir_pulls_toward_prior(self):
+        estimate = Uncertain(Gaussian(10.0, 5.0))
+        post = posterior(
+            estimate, TruncatedGaussian(3.0, 1.5, 0.0, 6.0), rng=default_rng(1)
+        )
+        mean = post.expected_value(5_000, default_rng(2))
+        assert 0.0 < mean < 6.5
+        assert mean < 10.0
+
+    def test_posterior_analytic_gaussian_case(self):
+        # Gaussian likelihood x Gaussian prior has a closed-form posterior:
+        # both N(0,1) -> posterior N(mu/2, 1/2) for likelihood centred at mu.
+        estimate = Uncertain(Gaussian(2.0, 1.0))
+        post = posterior(
+            estimate, Gaussian(0.0, 1.0), n_proposals=40_000, rng=default_rng(3)
+        )
+        mean = post.expected_value(20_000, default_rng(4))
+        sd = post.sd(20_000, default_rng(5))
+        assert mean == pytest.approx(1.0, abs=0.05)
+        assert sd == pytest.approx(np.sqrt(0.5), abs=0.05)
+
+    def test_rejection_method(self):
+        estimate = Uncertain(Gaussian(0.0, 2.0))
+        post = posterior(
+            estimate,
+            Uniform(-1.0, 1.0),
+            n_proposals=20_000,
+            method="rejection",
+            rng=default_rng(6),
+        )
+        samples = post.samples(2_000, default_rng(7))
+        assert samples.min() >= -1.0 and samples.max() <= 1.0
+
+    def test_sir_pool_size(self):
+        estimate = Uncertain(Gaussian(0.0, 1.0))
+        post = posterior(
+            estimate, Gaussian(0.0, 1.0), n_proposals=500, pool_size=100,
+            rng=default_rng(8),
+        )
+        # Result wraps an Empirical with the requested pool size.
+        from repro.dists import Empirical
+
+        leaf = post.node.dist
+        assert isinstance(leaf, Empirical)
+        assert len(leaf) == 100
+
+    def test_contradictory_prior_raises(self):
+        estimate = Uncertain(Gaussian(100.0, 0.1))
+        prior = Prior.from_weights(lambda v: 1.0 if v < 0 else 0.0)
+        with pytest.raises(ValueError, match="zero weight"):
+            posterior(estimate, prior, n_proposals=100, rng=default_rng(9))
+
+    def test_unknown_method_rejected(self):
+        estimate = Uncertain(Gaussian(0.0, 1.0))
+        with pytest.raises(ValueError, match="unknown posterior method"):
+            posterior(estimate, Gaussian(0, 1), method="magic", rng=default_rng(10))
+
+    def test_invalid_n_proposals(self):
+        with pytest.raises(ValueError):
+            posterior(Uncertain(Gaussian(0, 1)), Gaussian(0, 1), n_proposals=0)
+
+    def test_posterior_composes_with_operators(self):
+        estimate = Uncertain(Gaussian(5.0, 2.0))
+        post = posterior(estimate, Gaussian(5.0, 2.0), rng=default_rng(11))
+        doubled = post * 2.0
+        assert doubled.expected_value(5_000, default_rng(12)) == pytest.approx(
+            10.0, abs=0.3
+        )

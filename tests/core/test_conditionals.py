@@ -1,0 +1,111 @@
+"""Tests for conditional evaluation and its ambient configuration."""
+
+import pytest
+
+from repro.core.conditionals import (
+    EvaluationConfig,
+    evaluation_config,
+    get_config,
+)
+from repro.core.sprt import FixedSampleTest, SPRT, TestDecision
+from repro.core.uncertain import Uncertain
+from repro.dists import Bernoulli, Gaussian
+from repro.rng import default_rng
+
+
+class TestEvaluationConfig:
+    def test_default_test_is_sprt(self):
+        test = EvaluationConfig().make_test(0.5)
+        assert isinstance(test, SPRT)
+        assert test.threshold == 0.5
+
+    def test_test_factory_override(self):
+        cfg = EvaluationConfig(test_factory=lambda t: FixedSampleTest(t, n=50))
+        test = cfg.make_test(0.7)
+        assert isinstance(test, FixedSampleTest)
+        assert test.threshold == 0.7
+
+    def test_record_and_reset(self):
+        cfg = EvaluationConfig()
+        cfg.record(30)
+        cfg.record(20)
+        assert cfg.samples_drawn == 50
+        assert cfg.conditionals_evaluated == 2
+        cfg.reset_sample_counter()
+        assert cfg.samples_drawn == 0
+
+    def test_context_manager_scoping(self):
+        outer = get_config()
+        with evaluation_config(alpha=0.01) as inner:
+            assert get_config() is inner
+            assert inner.alpha == 0.01
+        assert get_config() is outer
+
+    def test_nested_scopes_inherit(self):
+        with evaluation_config(alpha=0.01):
+            with evaluation_config(batch_size=25) as inner:
+                assert inner.alpha == 0.01
+                assert inner.batch_size == 25
+
+    def test_counters_start_fresh_in_scope(self):
+        with evaluation_config() as cfg:
+            assert cfg.samples_drawn == 0
+
+
+class TestConditionalBehaviour:
+    def test_implicit_true(self):
+        with evaluation_config(rng=default_rng(0)):
+            assert bool(Uncertain(Gaussian(1.0, 0.1)) > 0.0)
+
+    def test_implicit_false(self):
+        with evaluation_config(rng=default_rng(0)):
+            assert not bool(Uncertain(Gaussian(-1.0, 0.1)) > 0.0)
+
+    def test_explicit_threshold_direction(self):
+        # Pr[cond] = 0.75: passes .pr(0.6), fails .pr(0.9).
+        cond = Uncertain(Bernoulli(0.75)) == 1
+        with evaluation_config(rng=default_rng(1)):
+            assert cond.pr(0.6)
+            assert not cond.pr(0.9)
+
+    def test_ternary_logic_neither_branch(self):
+        # Two exactly balanced complementary conditionals: with max_samples
+        # bounded, both should be inconclusive -> False.
+        a = Uncertain(Gaussian(0.0, 1.0))
+        b = Uncertain(Gaussian(0.0, 1.0))
+        with evaluation_config(rng=default_rng(2), max_samples=1_000, epsilon=0.02):
+            first = bool(a < b)
+            second = bool(a >= b)
+        assert not first and not second
+
+    def test_samples_recorded(self):
+        cond = Uncertain(Gaussian(1.0, 0.1)) > 0.0
+        with evaluation_config(rng=default_rng(3)) as cfg:
+            bool(cond)
+            assert cfg.samples_drawn >= cfg.batch_size
+            assert cfg.conditionals_evaluated == 1
+
+    def test_test_result_diagnostics(self):
+        cond = Uncertain(Gaussian(2.0, 0.1)) > 0.0
+        with evaluation_config(rng=default_rng(4)):
+            result = cond.test(0.5)
+        assert result.decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert result.p_hat > 0.9
+
+    def test_custom_test_object(self):
+        cond = Uncertain(Gaussian(2.0, 0.1)) > 0.0
+        result = cond.test(0.5, test=FixedSampleTest(0.5, n=11), rng=default_rng(5))
+        assert result.samples_used == 11
+
+    def test_factory_changes_conditional_mechanics(self):
+        cond = Uncertain(Gaussian(0.5, 1.0)) > 0.0
+        with evaluation_config(
+            rng=default_rng(6),
+            test_factory=lambda t: FixedSampleTest(t, n=201),
+        ) as cfg:
+            bool(cond)
+        assert cfg.samples_drawn == 201
+
+    def test_explicit_rng_argument(self):
+        cond = Uncertain(Gaussian(1.0, 0.1)) > 0.0
+        assert cond.pr(0.5, rng=default_rng(7))

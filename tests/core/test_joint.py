@@ -1,0 +1,91 @@
+"""Tests for expert-specified joint distributions (Section 3.3 override)."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint import ComponentNode, correlated_gaussians, joint
+from repro.core.sampling import SampleContext
+from repro.dists import MultivariateGaussian
+from repro.dists.sampling_function import FunctionDistribution
+from repro.rng import default_rng
+
+
+class TestJoint:
+    def test_components_share_one_leaf(self):
+        x, y = correlated_gaussians([0.0, 0.0], np.eye(2))
+        assert x.node.parents[0] is y.node.parents[0]
+
+    def test_marginals_correct(self, fixed_rng):
+        cov = np.array([[4.0, 0.0], [0.0, 1.0]])
+        x, y = correlated_gaussians([1.0, -1.0], cov)
+        assert x.expected_value(20_000, default_rng(0)) == pytest.approx(1.0, abs=0.05)
+        assert x.sd(20_000, default_rng(1)) == pytest.approx(2.0, rel=0.05)
+        assert y.sd(20_000, default_rng(2)) == pytest.approx(1.0, rel=0.05)
+
+    def test_correlation_respected_in_computation(self, fixed_rng):
+        # Perfectly correlated components: their difference is ~0.
+        cov = np.array([[1.0, 0.999], [0.999, 1.0]])
+        x, y = correlated_gaussians([0.0, 0.0], cov)
+        diff = x - y
+        assert diff.sd(20_000, fixed_rng) < 0.08
+
+    def test_anticorrelation(self, fixed_rng):
+        cov = np.array([[1.0, -0.9], [-0.9, 1.0]])
+        x, y = correlated_gaussians([0.0, 0.0], cov)
+        total = x + y
+        # Var[x+y] = 1 + 1 - 1.8 = 0.2.
+        assert total.var(20_000, fixed_rng) == pytest.approx(0.2, rel=0.15)
+
+    def test_joint_sample_consistent_within_context(self, rng):
+        x, y = correlated_gaussians([0.0, 0.0], np.array([[1.0, 1.0], [1.0, 1.0]]) + 1e-9 * np.eye(2))
+        ctx = SampleContext(100, rng)
+        xs = ctx.value_of(x.node)
+        ys = ctx.value_of(y.node)
+        assert np.allclose(xs, ys, atol=1e-3)
+
+    def test_labels(self):
+        x, y = joint(MultivariateGaussian([0, 0], np.eye(2)), ["east", "north"])
+        assert x.node.label == "east"
+        assert y.node.label == "north"
+
+    def test_dimension_inferred(self):
+        components = joint(MultivariateGaussian([0, 0, 0], np.eye(3)))
+        assert len(components) == 3
+
+    def test_int_labels(self):
+        components = joint(MultivariateGaussian([0, 0], np.eye(2)), 2)
+        assert len(components) == 2
+
+    def test_scalar_distribution_rejected(self):
+        scalar = FunctionDistribution(lambda r: 0.0, fn_n=lambda n, r: np.zeros(n))
+        with pytest.raises(ValueError, match="vector-valued"):
+            joint(scalar)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            joint(MultivariateGaussian([0, 0], np.eye(2)), 0)
+
+    def test_component_index_out_of_range(self, rng):
+        from repro.core.graph import LeafNode
+        from repro.core.uncertain import Uncertain
+
+        leaf = LeafNode(MultivariateGaussian([0, 0], np.eye(2)))
+        bad = Uncertain.from_node(ComponentNode(leaf, 5))
+        with pytest.raises(IndexError):
+            bad.samples(3, rng)
+
+    def test_object_vector_components(self, rng):
+        pairs = FunctionDistribution(lambda r: (r.random(), "tag"))
+        first, second = joint(pairs, ["value", "tag"])
+        assert isinstance(first.sample(rng), float)
+        assert second.sample(rng) == "tag"
+
+    def test_conditional_over_joint(self):
+        from repro.core.conditionals import evaluation_config
+
+        cov = np.array([[1.0, 0.95], [0.95, 1.0]])
+        x, y = correlated_gaussians([0.0, 0.1], cov)
+        with evaluation_config(rng=default_rng(3)):
+            # y is slightly above x and strongly correlated: |y - x| is tiny
+            # but consistently positive in mean.
+            assert not bool((x - y) > 1.0)

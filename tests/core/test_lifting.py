@@ -1,0 +1,68 @@
+"""Tests for lifting arbitrary functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lifting import apply, lift
+from repro.core.uncertain import Uncertain, UncertainBool
+from repro.dists import Gaussian, PointMass
+from repro.rng import default_rng
+
+
+class TestApply:
+    def test_scalar_function(self, fixed_rng):
+        a = Uncertain(Gaussian(3.0, 0.1))
+        b = Uncertain(Gaussian(4.0, 0.1))
+        hyp = apply(lambda x, y: math.hypot(x, y), a, b)
+        assert hyp.expected_value(5_000, fixed_rng) == pytest.approx(5.0, abs=0.05)
+
+    def test_vectorized_function(self, fixed_rng):
+        a = Uncertain(Gaussian(3.0, 0.1))
+        b = Uncertain(Gaussian(4.0, 0.1))
+        hyp = apply(np.hypot, a, b, vectorized=True)
+        assert hyp.expected_value(5_000, fixed_rng) == pytest.approx(5.0, abs=0.05)
+
+    def test_plain_operands_coerced(self, rng):
+        out = apply(lambda x, y: x * y, Uncertain(PointMass(3.0)), 4.0)
+        assert out.sample(rng) == 12.0
+
+    def test_boolean_result_type(self):
+        cond = apply(lambda x: x > 0, Uncertain(Gaussian(0, 1)), boolean=True)
+        assert isinstance(cond, UncertainBool)
+
+    def test_shared_operand_sampled_once(self, rng):
+        x = Uncertain(Gaussian(0.0, 1.0))
+        diff = apply(lambda a, b: a - b, x, x)
+        assert np.all(diff.samples(50, rng) == 0.0)
+
+    def test_mixed_int_to_float(self, rng):
+        # The paper's Int -> Int -> Double example.
+        real_div = apply(lambda a, b: a / b, Uncertain(PointMass(7)), Uncertain(PointMass(2)))
+        assert real_div.sample(rng) == 3.5
+
+
+class TestLift:
+    def test_lifted_function_returns_uncertain(self, fixed_rng):
+        distance = lift(lambda a, b: abs(a - b))
+        d = distance(Uncertain(Gaussian(1.0, 0.01)), Uncertain(Gaussian(4.0, 0.01)))
+        assert isinstance(d, Uncertain)
+        assert d.expected_value(2_000, fixed_rng) == pytest.approx(3.0, abs=0.05)
+
+    def test_lift_preserves_name(self):
+        def my_metric(a, b):
+            return a + b
+
+        lifted = lift(my_metric)
+        assert lifted.__name__ == "my_metric"
+        out = lifted(1.0, 2.0)
+        assert out.node.label == "my_metric"
+
+    def test_lift_boolean(self):
+        is_positive = lift(lambda x: x > 0, boolean=True)
+        assert isinstance(is_positive(Uncertain(Gaussian(0, 1))), UncertainBool)
+
+    def test_lift_on_plain_values(self, rng):
+        add = lift(lambda a, b: a + b)
+        assert add(2.0, 3.0).sample(rng) == 5.0

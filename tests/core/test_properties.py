@@ -1,0 +1,119 @@
+"""Property-based tests on the Uncertain algebra (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.uncertain import Uncertain
+from repro.dists import Gaussian, PointMass
+from repro.rng import default_rng
+
+small = st.floats(min_value=-100, max_value=100, allow_nan=False)
+sigma = st.floats(min_value=0.01, max_value=10, allow_nan=False)
+nonzero = st.floats(min_value=0.5, max_value=100, allow_nan=False)
+
+
+@given(a=small, b=small)
+@settings(max_examples=50, deadline=None)
+def test_pointmass_arithmetic_is_exact(a, b):
+    rng = default_rng(0)
+    ua, ub = Uncertain(PointMass(a)), Uncertain(PointMass(b))
+    assert (ua + ub).sample(rng) == a + b
+    assert (ua - ub).sample(rng) == a - b
+    assert (ua * ub).sample(rng) == a * b
+
+
+@given(a=small, b=nonzero)
+@settings(max_examples=50, deadline=None)
+def test_pointmass_division_is_exact(a, b):
+    rng = default_rng(0)
+    assert (Uncertain(PointMass(a)) / b).sample(rng) == a / b
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=25, deadline=None)
+def test_self_subtraction_identically_zero(mu, s):
+    x = Uncertain(Gaussian(mu, s))
+    samples = (x - x).samples(50, default_rng(1))
+    assert np.all(samples == 0.0)
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=25, deadline=None)
+def test_self_division_identically_one(mu, s):
+    x = Uncertain(Gaussian(mu + 200.0, s))  # bounded away from zero
+    samples = (x / x).samples(50, default_rng(2))
+    assert np.allclose(samples, 1.0)
+
+
+@given(mu=small, s=sigma, k=small)
+@settings(max_examples=25, deadline=None)
+def test_shift_moves_mean_exactly(mu, s, k):
+    x = Uncertain(Gaussian(mu, s))
+    shifted = x + k
+    n = 4_000
+    est = shifted.expected_value(n, default_rng(3))
+    tolerance = 6 * s / math.sqrt(n) + 1e-6
+    assert abs(est - (mu + k)) < tolerance
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=25, deadline=None)
+def test_comparison_complement_sums_to_one(mu, s):
+    x = Uncertain(Gaussian(mu, s))
+    t = mu + s / 2
+    rng = default_rng(4)
+    p = (x > t).evidence(4_000, rng)
+    q = (x <= t).evidence(4_000, rng)
+    assert abs((p + q) - 1.0) < 0.05
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=25, deadline=None)
+def test_demorgan_on_evidence(mu, s):
+    x = Uncertain(Gaussian(mu, s))
+    lo, hi = mu - s, mu + s
+    rng = default_rng(5)
+    inside = ((x > lo) & (x < hi)).evidence(4_000, rng)
+    outside = (~((x > lo) & (x < hi))).evidence(4_000, rng)
+    assert abs(inside + outside - 1.0) < 0.05
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=25, deadline=None)
+def test_var_of_double_is_four_times(mu, s):
+    x = Uncertain(Gaussian(mu, s))
+    doubled = x + x
+    v = doubled.var(4_000, default_rng(6))
+    assert 3.0 * s**2 < v < 5.2 * s**2
+
+
+@given(value=small)
+@settings(max_examples=50, deadline=None)
+def test_scalar_coercion_matches_pointmass(value):
+    rng = default_rng(7)
+    x = Uncertain(PointMass(1.0))
+    via_scalar = (x + value).sample(rng)
+    via_pointmass = (x + Uncertain(PointMass(value))).sample(rng)
+    assert via_scalar == via_pointmass
+
+
+@given(mu=small, s=sigma)
+@settings(max_examples=15, deadline=None)
+def test_abs_is_non_negative(mu, s):
+    x = Uncertain(Gaussian(mu, s))
+    assert np.all(abs(x).samples(100, default_rng(8)) >= 0.0)
+
+
+@given(
+    mus=st.lists(small, min_size=2, max_size=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_sum_of_pointmasses_is_exact(mus):
+    rng = default_rng(9)
+    total = Uncertain(PointMass(0.0))
+    for mu in mus:
+        total = total + Uncertain(PointMass(mu))
+    assert total.sample(rng) == sum(mus) or abs(total.sample(rng) - sum(mus)) < 1e-9

@@ -1,0 +1,108 @@
+"""Tests for lifted reductions."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import depth, leaf_nodes
+from repro.core.reductions import uall, uany, umax, umean, umedian, umin, usum
+from repro.core.uncertain import Uncertain, UncertainBool
+from repro.dists import Gaussian, PointMass, Uniform
+from repro.rng import default_rng
+
+
+class TestUsum:
+    def test_sum_of_pointmasses(self, rng):
+        total = usum([Uncertain(PointMass(float(i))) for i in range(5)])
+        assert total.sample(rng) == 10.0
+
+    def test_sum_matches_gaussian_analytics(self, fixed_rng):
+        total = usum([Uncertain(Gaussian(1.0, 1.0)) for _ in range(8)])
+        assert total.expected_value(20_000, fixed_rng) == pytest.approx(8.0, abs=0.1)
+        assert total.var(20_000, fixed_rng) == pytest.approx(8.0, rel=0.08)
+
+    def test_balanced_tree_depth(self):
+        total = usum([Uncertain(Gaussian(0, 1)) for _ in range(16)])
+        assert depth(total.node) == 4  # log2(16), not 15
+
+    def test_plain_values_coerced(self, rng):
+        total = usum([1.0, 2.0, Uncertain(PointMass(3.0))])
+        assert total.sample(rng) == 6.0
+
+    def test_single_element(self, rng):
+        u = Uncertain(PointMass(7.0))
+        assert usum([u]) is u
+
+    def test_shared_operand(self, fixed_rng):
+        x = Uncertain(Gaussian(0.0, 1.0))
+        total = usum([x, x, x])
+        assert total.var(20_000, fixed_rng) == pytest.approx(9.0, rel=0.08)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            usum([])
+
+
+class TestUmean:
+    def test_mean_of_gaussians(self, fixed_rng):
+        # CLT in miniature: the mean of 16 unit Gaussians has sd 1/4.
+        mean = umean([Uncertain(Gaussian(2.0, 1.0)) for _ in range(16)])
+        assert mean.expected_value(20_000, fixed_rng) == pytest.approx(2.0, abs=0.05)
+        assert mean.sd(20_000, fixed_rng) == pytest.approx(0.25, rel=0.1)
+
+
+class TestOrderStatistics:
+    def test_umin_umax_of_pointmasses(self, rng):
+        values = [Uncertain(PointMass(v)) for v in (3.0, 1.0, 2.0)]
+        assert umin(values).sample(rng) == 1.0
+        assert umax(values).sample(rng) == 3.0
+
+    def test_umax_of_uniforms_statistics(self, fixed_rng):
+        # max of k U(0,1) has mean k/(k+1).
+        values = [Uncertain(Uniform(0.0, 1.0)) for _ in range(3)]
+        assert umax(values).expected_value(40_000, fixed_rng) == pytest.approx(
+            0.75, abs=0.01
+        )
+
+    def test_umin_of_uniforms_statistics(self, fixed_rng):
+        values = [Uncertain(Uniform(0.0, 1.0)) for _ in range(3)]
+        assert umin(values).expected_value(40_000, fixed_rng) == pytest.approx(
+            0.25, abs=0.01
+        )
+
+    def test_umedian(self, rng):
+        values = [Uncertain(PointMass(v)) for v in (10.0, 1.0, 5.0)]
+        assert umedian(values).sample(rng) == 5.0
+
+    def test_per_sample_not_per_mean(self, fixed_rng):
+        # max(X, -X) = |X| whose mean is sqrt(2/pi), NOT max of means = 0.
+        x = Uncertain(Gaussian(0.0, 1.0))
+        m = umax([x, -x])
+        assert m.expected_value(40_000, fixed_rng) == pytest.approx(
+            np.sqrt(2 / np.pi), abs=0.02
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            umin([])
+
+
+class TestBooleanReductions:
+    def test_uall(self, fixed_rng):
+        u = Uncertain(Uniform(0.0, 1.0))
+        conds = [u > 0.2, u < 0.8]
+        both = uall(conds)
+        assert isinstance(both, UncertainBool)
+        assert both.evidence(20_000, fixed_rng) == pytest.approx(0.6, abs=0.02)
+
+    def test_uany(self, fixed_rng):
+        u = Uncertain(Uniform(0.0, 1.0))
+        either = uany([u < 0.2, u > 0.8])
+        assert either.evidence(20_000, fixed_rng) == pytest.approx(0.4, abs=0.02)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            uall([Uncertain(Gaussian(0, 1))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uany([])

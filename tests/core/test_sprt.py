@@ -1,0 +1,186 @@
+"""Tests for the hypothesis tests (SPRT, fixed, group sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sprt import (
+    FixedSampleTest,
+    GroupSequentialTest,
+    SPRT,
+    TestDecision,
+    TestResult,
+)
+from repro.rng import default_rng
+
+
+def bernoulli_stream(p, seed=0):
+    rng = default_rng(seed)
+
+    def draw(k):
+        return rng.random(k) < p
+
+    return draw
+
+
+class TestTestDecision:
+    def test_as_bool(self):
+        assert TestDecision.ACCEPT_ALTERNATIVE.as_bool() is True
+        assert TestDecision.ACCEPT_NULL.as_bool() is False
+        assert TestDecision.INCONCLUSIVE.as_bool() is False
+
+    def test_result_truthiness(self):
+        r = TestResult(TestDecision.ACCEPT_ALTERNATIVE, 10, 9)
+        assert bool(r) is True
+        assert r.p_hat == pytest.approx(0.9)
+
+
+class TestSPRT:
+    def test_clear_alternative(self):
+        result = SPRT(threshold=0.5).run(bernoulli_stream(0.9, 1))
+        assert result.decision is TestDecision.ACCEPT_ALTERNATIVE
+
+    def test_clear_null(self):
+        result = SPRT(threshold=0.5).run(bernoulli_stream(0.1, 2))
+        assert result.decision is TestDecision.ACCEPT_NULL
+
+    def test_indifference_region_inconclusive(self):
+        # p exactly at the threshold: the test should hit max_samples.
+        test = SPRT(threshold=0.5, epsilon=0.02, max_samples=500)
+        result = test.run(bernoulli_stream(0.5, 3))
+        assert result.decision is TestDecision.INCONCLUSIVE
+        assert result.samples_used == 500
+
+    def test_easy_decisions_use_few_samples(self):
+        result = SPRT(threshold=0.5).run(bernoulli_stream(0.99, 4))
+        assert result.samples_used <= 40
+
+    def test_hard_decisions_use_more_samples(self):
+        easy = SPRT(threshold=0.5).run(bernoulli_stream(0.95, 5))
+        hard = SPRT(threshold=0.5).run(bernoulli_stream(0.58, 5))
+        assert hard.samples_used > easy.samples_used
+
+    def test_error_rate_bounded(self):
+        # With p = threshold + 2*epsilon, false negatives should be ~beta.
+        test = SPRT(threshold=0.5, epsilon=0.05, alpha=0.05, beta=0.05)
+        wrong = 0
+        for seed in range(200):
+            result = test.run(bernoulli_stream(0.6, seed))
+            wrong += result.decision is not TestDecision.ACCEPT_ALTERNATIVE
+        assert wrong / 200 <= 0.1
+
+    def test_false_positive_rate_bounded(self):
+        test = SPRT(threshold=0.5, epsilon=0.05, alpha=0.05, beta=0.05)
+        wrong = 0
+        for seed in range(200):
+            result = test.run(bernoulli_stream(0.4, seed))
+            wrong += result.decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert wrong / 200 <= 0.1
+
+    def test_llr_calculation(self):
+        test = SPRT(threshold=0.5, epsilon=0.1)
+        # successes push the LLR up, failures down.
+        assert test.llr(10, 0) > 0 > test.llr(0, 10)
+        assert test.llr(5, 5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_threshold_clipping(self):
+        # .pr(0.99) must not produce degenerate hypotheses.
+        test = SPRT(threshold=0.99, epsilon=0.05)
+        assert 0.0 < test.p0 < test.p1 < 1.0
+
+    def test_batch_respects_max(self):
+        test = SPRT(threshold=0.5, batch_size=7, max_samples=10, epsilon=0.001)
+        result = test.run(bernoulli_stream(0.5, 6))
+        assert result.samples_used == 10  # 7 + 3, capped
+
+    def test_sampler_shape_validated(self):
+        test = SPRT()
+        with pytest.raises(ValueError):
+            test.run(lambda k: np.zeros(k + 1, dtype=bool))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPRT(threshold=0.0)
+        with pytest.raises(ValueError):
+            SPRT(alpha=0.0)
+        with pytest.raises(ValueError):
+            SPRT(epsilon=0.0)
+        with pytest.raises(ValueError):
+            SPRT(batch_size=0)
+        with pytest.raises(ValueError):
+            SPRT(batch_size=100, max_samples=50)
+
+
+class TestFixedSampleTest:
+    def test_naive_mode_decides_by_phat(self):
+        test = FixedSampleTest(threshold=0.5, n=101)
+        assert test.run(bernoulli_stream(0.9, 1)).decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert test.run(bernoulli_stream(0.1, 1)).decision is TestDecision.ACCEPT_NULL
+
+    def test_naive_mode_never_inconclusive(self):
+        test = FixedSampleTest(threshold=0.5, n=50)
+        for seed in range(20):
+            assert (
+                test.run(bernoulli_stream(0.5, seed)).decision
+                is not TestDecision.INCONCLUSIVE
+            )
+
+    def test_single_sample_reproduces_naive_decisions(self):
+        test = FixedSampleTest(threshold=0.5, n=1)
+        result = test.run(bernoulli_stream(1.0, 0))
+        assert result.samples_used == 1
+        assert result.decision is TestDecision.ACCEPT_ALTERNATIVE
+
+    def test_significant_mode_inconclusive_near_threshold(self):
+        test = FixedSampleTest(threshold=0.5, n=100, significance=0.05)
+        result = test.run(bernoulli_stream(0.5, 7))
+        assert result.decision is TestDecision.INCONCLUSIVE
+
+    def test_significant_mode_decides_clear_cases(self):
+        test = FixedSampleTest(threshold=0.5, n=200, significance=0.05)
+        assert test.run(bernoulli_stream(0.8, 8)).decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert test.run(bernoulli_stream(0.2, 8)).decision is TestDecision.ACCEPT_NULL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSampleTest(n=0)
+        with pytest.raises(ValueError):
+            FixedSampleTest(significance=1.0)
+
+
+class TestGroupSequentialTest:
+    def test_bounded_sample_size(self):
+        test = GroupSequentialTest(looks=4, group_size=100)
+        assert test.max_samples == 400
+        result = test.run(bernoulli_stream(0.5, 9))
+        assert result.samples_used <= 400
+
+    def test_early_stop_on_clear_evidence(self):
+        test = GroupSequentialTest(looks=5, group_size=100)
+        result = test.run(bernoulli_stream(0.95, 10))
+        assert result.decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert result.samples_used == 100  # stopped at the first look
+
+    def test_null_acceptance(self):
+        test = GroupSequentialTest(looks=5, group_size=100)
+        result = test.run(bernoulli_stream(0.05, 11))
+        assert result.decision is TestDecision.ACCEPT_NULL
+
+    def test_inconclusive_at_threshold(self):
+        test = GroupSequentialTest(looks=3, group_size=50)
+        result = test.run(bernoulli_stream(0.5, 12))
+        assert result.decision is TestDecision.INCONCLUSIVE
+
+    def test_error_rate_bounded(self):
+        test = GroupSequentialTest(threshold=0.5, looks=5, group_size=100, alpha=0.05)
+        wrong = sum(
+            test.run(bernoulli_stream(0.5, seed)).decision
+            is TestDecision.ACCEPT_ALTERNATIVE
+            for seed in range(200)
+        )
+        assert wrong / 200 <= 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupSequentialTest(looks=0)
+        with pytest.raises(ValueError):
+            GroupSequentialTest(group_size=1)

@@ -1,0 +1,87 @@
+"""Property-based tests on the hypothesis tests (hypothesis library)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sprt import (
+    FixedSampleTest,
+    GroupSequentialTest,
+    SPRT,
+    TestDecision,
+)
+from repro.rng import default_rng
+
+
+def stream(p: float, seed: int):
+    rng = default_rng(seed)
+    return lambda k: rng.random(k) < p
+
+
+thresholds = st.floats(min_value=0.05, max_value=0.95)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(threshold=thresholds, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_sprt_decides_correctly_far_from_threshold(threshold, seed):
+    test = SPRT(threshold=threshold, epsilon=0.05)
+    high = min(threshold + 0.3, 0.995)
+    low = max(threshold - 0.3, 0.005)
+    assert test.run(stream(high, seed)).decision is TestDecision.ACCEPT_ALTERNATIVE
+    assert test.run(stream(low, seed + 1)).decision is TestDecision.ACCEPT_NULL
+
+
+@given(threshold=thresholds, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_sprt_sample_count_bounded_and_batched(threshold, seed):
+    test = SPRT(threshold=threshold, batch_size=10, max_samples=4_000)
+    result = test.run(stream(threshold, seed))
+    assert 10 <= result.samples_used <= 4_000
+    assert result.samples_used % 10 == 0 or result.samples_used == 4_000
+
+
+@given(
+    threshold=thresholds,
+    seed=seeds,
+    offset=st.floats(min_value=0.15, max_value=0.4),
+)
+@settings(max_examples=30, deadline=None)
+def test_sprt_harder_cases_cost_at_least_as_much_on_average(threshold, seed, offset):
+    test = SPRT(threshold=threshold, epsilon=0.05, max_samples=20_000)
+    easy_p = min(threshold + 2 * offset, 0.999)
+    hard_p = min(threshold + offset / 2, 0.999)
+    easy = np.mean(
+        [test.run(stream(easy_p, seed + i)).samples_used for i in range(5)]
+    )
+    hard = np.mean(
+        [test.run(stream(hard_p, seed + i)).samples_used for i in range(5)]
+    )
+    assert hard >= easy * 0.5  # hard cases are never systematically cheaper
+
+
+@given(threshold=thresholds, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_fixed_test_consistency_with_truth(threshold, seed):
+    # With a decisive p and a large n, the naive fixed test agrees with
+    # the ground truth ordering.
+    test = FixedSampleTest(threshold=threshold, n=2_000)
+    p = min(threshold + 0.25, 0.99)
+    assert test.run(stream(p, seed)).decision is TestDecision.ACCEPT_ALTERNATIVE
+
+
+@given(threshold=thresholds, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_group_sequential_respects_cap(threshold, seed):
+    test = GroupSequentialTest(threshold=threshold, looks=4, group_size=50)
+    result = test.run(stream(threshold, seed))
+    assert result.samples_used <= 200
+    assert result.samples_used % 50 == 0
+
+
+@given(seed=seeds, p=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=40, deadline=None)
+def test_result_phat_tracks_p(seed, p):
+    test = FixedSampleTest(threshold=0.5, n=3_000)
+    result = test.run(stream(p, seed))
+    assert abs(result.p_hat - p) < 0.05

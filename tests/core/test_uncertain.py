@@ -1,0 +1,203 @@
+"""Tests for the Uncertain type and its operator algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import node_count
+from repro.core.uncertain import Uncertain, UncertainBool, uncertain
+from repro.dists import Empirical, Gaussian, PointMass
+
+
+class TestConstruction:
+    def test_from_distribution(self):
+        u = Uncertain(Gaussian(0.0, 1.0))
+        assert node_count(u.node) == 1
+
+    def test_from_scalar_is_pointmass(self, rng):
+        u = Uncertain(5.0)
+        assert u.sample(rng) == 5.0
+
+    def test_from_callable(self, rng):
+        u = Uncertain(lambda r: r.normal(3.0, 0.01))
+        assert u.sample(rng) == pytest.approx(3.0, abs=0.1)
+
+    def test_from_uncertain_shares_node(self):
+        a = Uncertain(Gaussian(0.0, 1.0))
+        b = Uncertain(a)
+        assert b.node is a.node
+
+    def test_pointmass_classmethod(self, rng):
+        assert Uncertain.pointmass("label").sample(rng) == "label"
+
+    def test_uncertain_helper(self):
+        assert isinstance(uncertain(Gaussian(0, 1)), Uncertain)
+
+
+class TestArithmetic:
+    def test_add_means(self, fixed_rng):
+        c = Uncertain(Gaussian(4.0, 1.0)) + Uncertain(Gaussian(5.0, 1.0))
+        assert c.expected_value(20_000, fixed_rng) == pytest.approx(9.0, abs=0.05)
+
+    def test_scalar_coercion_right(self, fixed_rng):
+        c = Uncertain(Gaussian(4.0, 0.5)) + 1.0
+        assert c.expected_value(10_000, fixed_rng) == pytest.approx(5.0, abs=0.05)
+
+    def test_scalar_coercion_left(self, fixed_rng):
+        c = 10.0 - Uncertain(Gaussian(4.0, 0.5))
+        assert c.expected_value(10_000, fixed_rng) == pytest.approx(6.0, abs=0.05)
+
+    def test_division(self, fixed_rng):
+        speed = Uncertain(Gaussian(10.0, 0.1)) / 2.0
+        assert speed.expected_value(5_000, fixed_rng) == pytest.approx(5.0, abs=0.05)
+
+    def test_rdiv(self, fixed_rng):
+        inv = 1.0 / Uncertain(Gaussian(2.0, 0.01))
+        assert inv.expected_value(5_000, fixed_rng) == pytest.approx(0.5, abs=0.01)
+
+    def test_pow(self, fixed_rng):
+        sq = Uncertain(Gaussian(3.0, 0.01)) ** 2
+        assert sq.expected_value(5_000, fixed_rng) == pytest.approx(9.0, abs=0.1)
+
+    def test_rpow(self, fixed_rng):
+        two_x = 2.0 ** Uncertain(PointMass(3.0))
+        assert two_x.sample(fixed_rng) == 8.0
+
+    def test_mod_and_floordiv(self, rng):
+        u = Uncertain(PointMass(7.0))
+        assert (u % 3).sample(rng) == 1.0
+        assert (u // 2).sample(rng) == 3.0
+        assert (9.0 // u).sample(rng) == 1.0
+        assert (10.0 % u).sample(rng) == 3.0
+
+    def test_neg_abs_pos(self, rng):
+        u = Uncertain(PointMass(-4.0))
+        assert (-u).sample(rng) == 4.0
+        assert abs(u).sample(rng) == 4.0
+        assert (+u) is u
+
+    def test_mul_reflected(self, rng):
+        u = 3 * Uncertain(PointMass(2.0))
+        assert u.sample(rng) == 6.0
+
+    def test_shared_subexpression_variance(self, fixed_rng):
+        x = Uncertain(Gaussian(0.0, 1.0))
+        assert (x + x).var(50_000, fixed_rng) == pytest.approx(4.0, rel=0.05)
+
+    def test_self_subtraction_is_zero(self, rng):
+        x = Uncertain(Gaussian(0.0, 1.0))
+        assert np.all((x - x).samples(100, rng) == 0.0)
+
+    def test_operator_chain_builds_dag(self):
+        a = Uncertain(Gaussian(0, 1))
+        b = Uncertain(Gaussian(0, 1))
+        c = (a + b) * (a - b)
+        # a, b, a+b, a-b, product: 5 distinct nodes.
+        assert node_count(c.node) == 5
+
+
+class TestComparisons:
+    def test_comparison_type(self):
+        a = Uncertain(Gaussian(0, 1))
+        assert isinstance(a > 0.0, UncertainBool)
+        assert isinstance(a < 0.0, UncertainBool)
+        assert isinstance(a >= 0.0, UncertainBool)
+        assert isinstance(a <= 0.0, UncertainBool)
+        assert isinstance(a == 0.0, UncertainBool)
+        assert isinstance(a != 0.0, UncertainBool)
+
+    def test_reflected_comparison(self):
+        a = Uncertain(Gaussian(0, 1))
+        cond = 2.0 <= a
+        assert isinstance(cond, UncertainBool)
+
+    def test_evidence_estimates_probability(self, fixed_rng):
+        cond = Uncertain(Gaussian(0.0, 1.0)) > 0.0
+        assert cond.evidence(20_000, fixed_rng) == pytest.approx(0.5, abs=0.02)
+
+    def test_between(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 1.0))
+        inside = u.between(-1.0, 1.0)
+        assert inside.evidence(20_000, fixed_rng) == pytest.approx(0.6827, abs=0.02)
+
+    def test_equality_on_discrete(self, fixed_rng):
+        u = Uncertain(PointMass(3))
+        assert (u == 3).evidence(100, fixed_rng) == 1.0
+        assert (u != 3).evidence(100, fixed_rng) == 0.0
+
+    def test_hash_is_identity(self):
+        a = Uncertain(Gaussian(0, 1))
+        assert hash(a) == hash(a)
+        {a: 1}  # hashable despite __eq__ override
+
+
+class TestEvaluation:
+    def test_plain_uncertain_bool_raises(self):
+        with pytest.raises(TypeError, match="no direct truth value"):
+            bool(Uncertain(Gaussian(0, 1)))
+
+    def test_samples_shape(self, rng):
+        assert Uncertain(Gaussian(0, 1)).samples(33, rng).shape == (33,)
+
+    def test_sd_var(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 2.0))
+        assert u.sd(50_000, fixed_rng) == pytest.approx(2.0, rel=0.03)
+        assert u.var(50_000, fixed_rng) == pytest.approx(4.0, rel=0.05)
+
+    def test_ci(self, fixed_rng):
+        lo, hi = Uncertain(Gaussian(0.0, 1.0)).ci(0.95, 50_000, fixed_rng)
+        assert lo == pytest.approx(-1.96, abs=0.08)
+        assert hi == pytest.approx(1.96, abs=0.08)
+
+    def test_ci_validation(self):
+        with pytest.raises(ValueError):
+            Uncertain(Gaussian(0, 1)).ci(1.5)
+
+    def test_histogram(self, rng):
+        density, edges = Uncertain(Gaussian(0, 1)).histogram(20, 2_000, rng)
+        assert len(density) == 20 and len(edges) == 21
+
+    def test_to_empirical_freezes(self, fixed_rng):
+        u = Uncertain(Gaussian(5.0, 1.0)).to_empirical(5_000, fixed_rng)
+        assert u.expected_value(5_000, fixed_rng) == pytest.approx(5.0, abs=0.1)
+
+    def test_expected_value_alias_E(self, fixed_rng):
+        u = Uncertain(Gaussian(2.0, 0.1))
+        assert u.E(5_000, fixed_rng) == pytest.approx(2.0, abs=0.02)
+
+    def test_map(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 1.0)).map(lambda v: v * v)
+        assert u.expected_value(20_000, fixed_rng) == pytest.approx(1.0, abs=0.05)
+
+    def test_map_vectorized(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 1.0)).map(np.square, vectorized=True)
+        assert u.expected_value(20_000, fixed_rng) == pytest.approx(1.0, abs=0.05)
+
+    def test_repr_mentions_nodes(self):
+        assert "nodes=" in repr(Uncertain(Gaussian(0, 1)) + 1.0)
+
+
+class TestUncertainBoolAlgebra:
+    def test_and_or_not(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 1.0))
+        both = (u > -1.0) & (u < 1.0)
+        assert both.evidence(20_000, fixed_rng) == pytest.approx(0.6827, abs=0.02)
+        either = (u < -1.0) | (u > 1.0)
+        assert either.evidence(20_000, fixed_rng) == pytest.approx(0.3173, abs=0.02)
+        negated = ~(u > 0.0)
+        assert negated.evidence(20_000, fixed_rng) == pytest.approx(0.5, abs=0.02)
+
+    def test_xor(self, fixed_rng):
+        u = Uncertain(Gaussian(0.0, 1.0))
+        x = (u > 0.0) ^ (u > 0.0)  # identical condition: always false
+        assert x.evidence(1_000, fixed_rng) == 0.0
+
+    def test_logical_with_plain_bool(self, fixed_rng):
+        u = Uncertain(Gaussian(10.0, 0.1))
+        cond = (u > 0.0) & True
+        assert cond.evidence(1_000, fixed_rng) == 1.0
+
+    def test_complement_duality(self, fixed_rng):
+        u = Uncertain(Gaussian(0.3, 1.0))
+        p = (u > 0.0).evidence(30_000, fixed_rng)
+        q = (u <= 0.0).evidence(30_000, fixed_rng)
+        assert p + q == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,68 @@
+"""Tests for network pretty-printing and DOT export."""
+
+import pytest
+
+from repro.core.uncertain import Uncertain
+from repro.core.viz import describe, summary, to_dot
+from repro.dists import Gaussian
+
+
+@pytest.fixture
+def shared_expr():
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Gaussian(0.0, 1.0), label="Y")
+    return (y + x) + x
+
+
+class TestDescribe:
+    def test_marks_leaves(self, shared_expr):
+        text = describe(shared_expr)
+        assert "(leaf)" in text
+        assert "X" in text and "Y" in text
+
+    def test_shared_nodes_marked(self, shared_expr):
+        text = describe(shared_expr)
+        assert "@shared" in text
+        # X appears once in full, once as a reference.
+        assert text.count("X #") == 1
+
+    def test_max_depth_guard(self):
+        expr = Uncertain(Gaussian(0, 1))
+        for _ in range(30):
+            expr = expr + 1.0
+        text = describe(expr, max_depth=5)
+        assert "max depth reached" in text
+
+    def test_accepts_raw_node(self, shared_expr):
+        assert describe(shared_expr.node) == describe(shared_expr)
+
+    def test_rejects_non_node(self):
+        with pytest.raises(TypeError):
+            describe(42)
+
+
+class TestToDot:
+    def test_valid_structure(self, shared_expr):
+        dot = to_dot(shared_expr)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 4  # Y->A, X->A, A->B, X->B
+
+    def test_leaves_shaded(self, shared_expr):
+        dot = to_dot(shared_expr)
+        assert dot.count("fillcolor") == 2  # X and Y
+
+    def test_quotes_escaped(self):
+        u = Uncertain(Gaussian(0, 1), label='with "quotes"')
+        assert '\\"' not in to_dot(u)  # replaced, not escaped
+        assert "'quotes'" in to_dot(u)
+
+
+class TestSummary:
+    def test_counts(self, shared_expr):
+        info = summary(shared_expr)
+        assert info == {"nodes": 4, "leaves": 2, "depth": 2, "root": "+"}
+
+    def test_single_leaf(self):
+        info = summary(Uncertain(Gaussian(0, 1)))
+        assert info["nodes"] == 1 and info["depth"] == 0

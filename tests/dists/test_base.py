@@ -1,0 +1,48 @@
+"""Tests for the Distribution base class and Support."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import Gaussian
+from repro.dists.base import NON_NEGATIVE, REAL_LINE, Support, UNIT_INTERVAL
+
+
+class TestSupport:
+    def test_contains_interior(self):
+        assert Support(0.0, 1.0).contains(0.5)
+
+    def test_contains_endpoints(self):
+        s = Support(0.0, 1.0)
+        assert s.contains(0.0) and s.contains(1.0)
+
+    def test_excludes_outside(self):
+        s = Support(0.0, 1.0)
+        assert not s.contains(-0.1) and not s.contains(1.1)
+
+    def test_bounded_flag(self):
+        assert Support(0.0, 1.0).is_bounded
+        assert not REAL_LINE.is_bounded
+        assert not NON_NEGATIVE.is_bounded
+
+    def test_constants(self):
+        assert UNIT_INTERVAL.lower == 0.0 and UNIT_INTERVAL.upper == 1.0
+        assert REAL_LINE.lower == -math.inf
+
+
+class TestDistributionDefaults:
+    def test_sample_is_scalar_from_sample_n(self, rng):
+        value = Gaussian(0.0, 1.0).sample(rng)
+        assert isinstance(value, float)
+
+    def test_pdf_from_log_pdf(self):
+        g = Gaussian(0.0, 1.0)
+        assert np.allclose(g.pdf(0.0), np.exp(g.log_pdf(0.0)))
+
+    def test_std_from_variance(self):
+        assert Gaussian(0.0, 2.0).std == pytest.approx(2.0)
+
+    def test_empirical_mean_converges(self, fixed_rng):
+        g = Gaussian(3.0, 1.0)
+        assert g.empirical_mean(20_000, fixed_rng) == pytest.approx(3.0, abs=0.05)

@@ -1,0 +1,71 @@
+"""Tests for Bernoulli and Binomial."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Bernoulli, Binomial
+
+
+class TestBernoulli:
+    def test_values_are_zero_one(self, rng):
+        s = Bernoulli(0.5).sample_n(1_000, rng)
+        assert set(np.unique(s)) <= {0, 1}
+
+    def test_mean_matches_p(self, fixed_rng):
+        s = Bernoulli(0.3).sample_n(50_000, fixed_rng)
+        assert s.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_extremes(self, rng):
+        assert np.all(Bernoulli(0.0).sample_n(100, rng) == 0)
+        assert np.all(Bernoulli(1.0).sample_n(100, rng) == 1)
+
+    def test_pmf(self):
+        b = Bernoulli(0.7)
+        assert float(b.pdf(1)) == pytest.approx(0.7)
+        assert float(b.pdf(0)) == pytest.approx(0.3)
+        assert float(b.pdf(0.5)) == 0.0
+
+    def test_variance(self):
+        assert Bernoulli(0.25).variance == pytest.approx(0.1875)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+        with pytest.raises(ValueError):
+            Bernoulli(-0.1)
+
+
+class TestBinomial:
+    def test_range(self, rng):
+        s = Binomial(10, 0.5).sample_n(2_000, rng)
+        assert s.min() >= 0 and s.max() <= 10
+
+    def test_moments(self):
+        b = Binomial(20, 0.3)
+        assert b.mean == pytest.approx(6.0)
+        assert b.variance == pytest.approx(4.2)
+
+    def test_pmf_sums_to_one(self):
+        b = Binomial(8, 0.4)
+        total = sum(float(b.pdf(k)) for k in range(9))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_zero_outside_support(self):
+        b = Binomial(5, 0.5)
+        assert float(b.pdf(6)) == 0.0
+        assert float(b.pdf(-1)) == 0.0
+        assert float(b.pdf(2.5)) == 0.0
+
+    def test_degenerate_p(self, rng):
+        assert np.all(Binomial(5, 1.0).sample_n(20, rng) == 5)
+        assert float(Binomial(5, 1.0).pdf(5)) == pytest.approx(1.0)
+        assert float(Binomial(5, 0.0).pdf(0)) == pytest.approx(1.0)
+
+    def test_zero_trials(self, rng):
+        assert np.all(Binomial(0, 0.5).sample_n(10, rng) == 0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            Binomial(-1, 0.5)
+        with pytest.raises(ValueError):
+            Binomial(5, 1.2)

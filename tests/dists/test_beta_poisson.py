@@ -1,0 +1,68 @@
+"""Tests for Beta and Poisson."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Beta, Poisson
+
+
+class TestBeta:
+    def test_moments(self):
+        b = Beta(2.0, 3.0)
+        assert b.mean == pytest.approx(0.4)
+        assert b.variance == pytest.approx(0.04)
+
+    def test_samples_in_unit_interval(self, rng):
+        s = Beta(0.5, 0.5).sample_n(5_000, rng)
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_uniform_special_case(self):
+        b = Beta(1.0, 1.0)
+        assert float(b.pdf(0.3)) == pytest.approx(1.0)
+        assert float(b.pdf(0.9)) == pytest.approx(1.0)
+
+    def test_cdf_endpoints(self):
+        b = Beta(2.0, 2.0)
+        assert float(b.cdf(0.0)) == 0.0
+        assert float(b.cdf(1.0)) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        b = Beta(3.0, 3.0)
+        assert float(b.pdf(0.3)) == pytest.approx(float(b.pdf(0.7)))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Beta(1.0, -2.0)
+
+
+class TestPoisson:
+    def test_moments(self):
+        p = Poisson(4.0)
+        assert p.mean == 4.0
+        assert p.variance == 4.0
+
+    def test_samples_are_counts(self, rng):
+        s = Poisson(3.0).sample_n(5_000, rng)
+        assert s.min() >= 0
+        assert np.all(s == s.astype(int))
+
+    def test_pmf_sums_to_one(self):
+        p = Poisson(2.0)
+        total = sum(float(p.pdf(k)) for k in range(40))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_zero_for_non_integers(self):
+        p = Poisson(2.0)
+        assert float(p.pdf(1.5)) == 0.0
+        assert float(p.pdf(-1)) == 0.0
+
+    def test_lambda_zero(self, rng):
+        p = Poisson(0.0)
+        assert np.all(p.sample_n(20, rng) == 0)
+        assert float(p.pdf(0)) == pytest.approx(1.0)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            Poisson(-1.0)

@@ -1,0 +1,71 @@
+"""Tests for Categorical and PointMass."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Categorical, PointMass
+
+
+class TestCategorical:
+    def test_sampling_frequencies(self, fixed_rng):
+        c = Categorical([1, 2, 3], [0.2, 0.3, 0.5])
+        s = c.sample_n(50_000, fixed_rng)
+        assert np.mean(s == 3) == pytest.approx(0.5, abs=0.01)
+
+    def test_probabilities_normalised(self):
+        c = Categorical(["a", "b"], [2.0, 6.0])
+        assert np.allclose(c.probs, [0.25, 0.75])
+
+    def test_object_values(self, rng):
+        c = Categorical([(1, 2), (3, 4)], [0.5, 0.5])
+        sample = c.sample(rng)
+        assert sample in ((1, 2), (3, 4))
+
+    def test_numeric_moments(self):
+        c = Categorical([0.0, 10.0], [0.5, 0.5])
+        assert c.mean == pytest.approx(5.0)
+        assert c.variance == pytest.approx(25.0)
+
+    def test_pmf(self):
+        c = Categorical([1, 2], [0.25, 0.75])
+        assert float(c.pdf(2)) == pytest.approx(0.75)
+        assert float(c.pdf(5)) == 0.0
+
+    def test_support(self):
+        c = Categorical([3.0, -1.0, 2.0], [1, 1, 1])
+        assert c.support.lower == -1.0 and c.support.upper == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Categorical([], [])
+        with pytest.raises(ValueError):
+            Categorical([1], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Categorical([1, 2], [-0.5, 1.5])
+        with pytest.raises(ValueError):
+            Categorical([1, 2], [0.0, 0.0])
+
+
+class TestPointMass:
+    def test_all_samples_equal(self, rng):
+        assert np.all(PointMass(7.5).sample_n(100, rng) == 7.5)
+
+    def test_object_value(self, rng):
+        obj = object()
+        p = PointMass(obj)
+        assert p.sample(rng) is obj
+        assert all(v is obj for v in p.sample_n(5, rng))
+
+    def test_moments(self):
+        p = PointMass(3.0)
+        assert p.mean == 3.0
+        assert p.variance == 0.0
+
+    def test_pmf(self):
+        p = PointMass(2)
+        assert float(p.pdf(2)) == 1.0
+        assert float(p.pdf(3)) == 0.0
+
+    def test_support_degenerate(self):
+        s = PointMass(4.0).support
+        assert s.lower == s.upper == 4.0

@@ -1,0 +1,150 @@
+"""Tests for Empirical, Mixture, KernelDensity and FunctionDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.dists import (
+    Empirical,
+    FunctionDistribution,
+    Gaussian,
+    KernelDensity,
+    Mixture,
+    Uniform,
+)
+
+
+class TestEmpirical:
+    def test_samples_from_pool(self, rng):
+        e = Empirical([1.0, 2.0, 3.0])
+        assert set(np.unique(e.sample_n(1_000, rng))) <= {1.0, 2.0, 3.0}
+
+    def test_moments_are_pool_moments(self):
+        pool = [1.0, 2.0, 3.0, 4.0]
+        e = Empirical(pool)
+        assert e.mean == pytest.approx(2.5)
+        assert e.variance == pytest.approx(np.var(pool))
+
+    def test_quantile(self):
+        e = Empirical(np.arange(101, dtype=float))
+        assert e.quantile(0.5) == pytest.approx(50.0)
+
+    def test_cdf(self):
+        e = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert float(e.cdf(2.0)) == pytest.approx(0.5)
+
+    def test_len(self):
+        assert len(Empirical([1, 2, 3])) == 3
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_support(self):
+        s = Empirical([5.0, -2.0, 3.0]).support
+        assert s.lower == -2.0 and s.upper == 5.0
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        m = Mixture([Gaussian(0.0, 1.0), Gaussian(10.0, 1.0)], [0.25, 0.75])
+        assert m.mean == pytest.approx(7.5)
+
+    def test_variance_includes_spread_of_means(self):
+        m = Mixture([Gaussian(-5.0, 1.0), Gaussian(5.0, 1.0)], [0.5, 0.5])
+        assert m.variance == pytest.approx(26.0)
+
+    def test_sampling_hits_both_modes(self, fixed_rng):
+        m = Mixture([Gaussian(-10.0, 0.1), Gaussian(10.0, 0.1)], [0.5, 0.5])
+        s = m.sample_n(10_000, fixed_rng)
+        assert np.mean(s > 0) == pytest.approx(0.5, abs=0.02)
+
+    def test_pdf_is_weighted_sum(self):
+        g1, g2 = Gaussian(0.0, 1.0), Gaussian(3.0, 1.0)
+        m = Mixture([g1, g2], [0.3, 0.7])
+        x = 1.2
+        expected = 0.3 * float(g1.pdf(x)) + 0.7 * float(g2.pdf(x))
+        assert float(m.pdf(x)) == pytest.approx(expected)
+
+    def test_cdf_is_weighted_sum(self):
+        g1, g2 = Gaussian(0.0, 1.0), Gaussian(3.0, 1.0)
+        m = Mixture([g1, g2], [0.5, 0.5])
+        assert float(m.cdf(1.5)) == pytest.approx(
+            0.5 * float(g1.cdf(1.5)) + 0.5 * float(g2.cdf(1.5))
+        )
+
+    def test_support_is_union_hull(self):
+        m = Mixture([Uniform(0.0, 1.0), Uniform(5.0, 6.0)], [0.5, 0.5])
+        assert m.support.lower == 0.0 and m.support.upper == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Mixture([Gaussian(0, 1)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Mixture([Gaussian(0, 1)], [-1.0])
+
+
+class TestKernelDensity:
+    def test_mean_matches_data(self):
+        data = [1.0, 2.0, 3.0]
+        assert KernelDensity(data, bandwidth=0.1).mean == pytest.approx(2.0)
+
+    def test_samples_near_data(self, rng):
+        kde = KernelDensity([0.0, 10.0], bandwidth=0.1)
+        s = kde.sample_n(1_000, rng)
+        near = (np.abs(s) < 1.0) | (np.abs(s - 10.0) < 1.0)
+        assert near.mean() > 0.99
+
+    def test_pdf_positive_off_data(self):
+        # Gaussian kernels give positive density away from the data
+        # (until floating-point underflow in the far tail).
+        kde = KernelDensity([0.0, 1.0])
+        assert float(kde.pdf(3.0)) > 0.0
+
+    def test_pdf_integrates_to_one(self):
+        kde = KernelDensity([0.0, 1.0, 2.0], bandwidth=0.5)
+        xs = np.linspace(-5.0, 7.0, 4_001)
+        assert np.trapezoid(kde.pdf(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_silverman_default(self):
+        kde = KernelDensity(np.linspace(0, 1, 100))
+        assert kde.bandwidth > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelDensity([])
+        with pytest.raises(ValueError):
+            KernelDensity([1.0], bandwidth=-0.5)
+
+
+class TestFunctionDistribution:
+    def test_scalar_sampling(self, rng):
+        d = FunctionDistribution(lambda r: r.normal(5.0, 0.1))
+        s = d.sample_n(500, rng)
+        assert s.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_vectorised_path(self, rng):
+        d = FunctionDistribution(
+            lambda r: r.normal(), fn_n=lambda n, r: r.normal(size=n)
+        )
+        assert d.sample_n(100, rng).shape == (100,)
+
+    def test_object_sampling(self, rng):
+        d = FunctionDistribution(lambda r: {"x": r.random()})
+        out = d.sample_n(5, rng)
+        assert out.dtype == object and isinstance(out[0], dict)
+
+    def test_bad_vectorised_shape_rejected(self, rng):
+        d = FunctionDistribution(lambda r: 0.0, fn_n=lambda n, r: np.zeros(n + 1))
+        with pytest.raises(ValueError):
+            d.sample_n(10, rng)
+
+    def test_log_pdf_passthrough(self):
+        d = FunctionDistribution(lambda r: 0.0, log_pdf=lambda x: -1.0)
+        assert d.log_pdf(0.0) == -1.0
+
+    def test_log_pdf_missing(self):
+        d = FunctionDistribution(lambda r: 0.0)
+        with pytest.raises(NotImplementedError):
+            d.log_pdf(0.0)

@@ -1,0 +1,67 @@
+"""Tests for Exponential and Gamma."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Exponential, Gamma
+
+
+class TestExponential:
+    def test_moments(self):
+        e = Exponential(2.0)
+        assert e.mean == 0.5
+        assert e.variance == 0.25
+
+    def test_memoryless_cdf(self):
+        e = Exponential(1.0)
+        # Pr[X > s+t] = Pr[X > s] Pr[X > t]
+        s, t = 0.7, 1.3
+        tail = lambda x: 1.0 - float(e.cdf(x))
+        assert tail(s + t) == pytest.approx(tail(s) * tail(t))
+
+    def test_samples_non_negative(self, rng):
+        assert Exponential(0.5).sample_n(5_000, rng).min() >= 0.0
+
+    def test_sampled_mean(self, fixed_rng):
+        assert Exponential(4.0).sample_n(50_000, fixed_rng).mean() == pytest.approx(
+            0.25, rel=0.03
+        )
+
+    def test_pdf_at_zero(self):
+        assert float(Exponential(3.0).pdf(0.0)) == pytest.approx(3.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestGamma:
+    def test_moments(self):
+        g = Gamma(3.0, 2.0)
+        assert g.mean == pytest.approx(1.5)
+        assert g.variance == pytest.approx(0.75)
+
+    def test_shape_one_is_exponential(self):
+        g = Gamma(1.0, 2.0)
+        e = Exponential(2.0)
+        xs = np.linspace(0.01, 5.0, 50)
+        assert np.allclose(g.pdf(xs), e.pdf(xs))
+
+    def test_sampled_mean(self, fixed_rng):
+        g = Gamma(5.0, 1.0)
+        assert g.sample_n(50_000, fixed_rng).mean() == pytest.approx(5.0, rel=0.02)
+
+    def test_cdf_monotone(self):
+        g = Gamma(2.0, 1.0)
+        xs = np.linspace(0.0, 10.0, 100)
+        cdf = g.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_pdf_zero_for_negative(self):
+        assert float(Gamma(2.0, 1.0).pdf(-0.5)) == 0.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            Gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gamma(1.0, -1.0)

@@ -1,0 +1,116 @@
+"""Tests for Gaussian, TruncatedGaussian, MultivariateGaussian."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import Gaussian, MultivariateGaussian, TruncatedGaussian
+
+
+class TestGaussian:
+    def test_moments(self):
+        g = Gaussian(2.0, 3.0)
+        assert g.mean == 2.0
+        assert g.variance == 9.0
+
+    def test_sampled_moments(self, fixed_rng):
+        g = Gaussian(-1.0, 0.5)
+        samples = g.sample_n(50_000, fixed_rng)
+        assert np.mean(samples) == pytest.approx(-1.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_pdf_peak_at_mean(self):
+        g = Gaussian(1.0, 2.0)
+        assert g.pdf(1.0) == pytest.approx(1.0 / (2.0 * math.sqrt(2 * math.pi)))
+
+    def test_cdf_at_mean(self):
+        assert Gaussian(5.0, 1.0).cdf(5.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        g = Gaussian(0.0, 1.0)
+        assert float(g.cdf(1.0) + g.cdf(-1.0)) == pytest.approx(1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Gaussian(0.0, -1.0)
+
+    def test_degenerate_sigma_zero(self, rng):
+        g = Gaussian(4.0, 0.0)
+        assert np.all(g.sample_n(10, rng) == 4.0)
+        with pytest.raises(NotImplementedError):
+            g.log_pdf(4.0)
+
+    def test_degenerate_cdf_is_step(self):
+        g = Gaussian(4.0, 0.0)
+        assert float(g.cdf(3.9)) == 0.0
+        assert float(g.cdf(4.0)) == 1.0
+
+
+class TestTruncatedGaussian:
+    def test_samples_within_bounds(self, rng):
+        t = TruncatedGaussian(0.0, 5.0, -1.0, 2.0)
+        samples = t.sample_n(5_000, rng)
+        assert samples.min() >= -1.0 and samples.max() <= 2.0
+
+    def test_support(self):
+        t = TruncatedGaussian(3.0, 1.5, 0.0, 10.0)
+        assert t.support.lower == 0.0 and t.support.upper == 10.0
+
+    def test_mean_shifts_toward_window(self):
+        # Truncating N(0,1) to [1, 5] pushes the mean above 1.
+        t = TruncatedGaussian(0.0, 1.0, 1.0, 5.0)
+        assert t.mean > 1.0
+
+    def test_pdf_zero_outside(self):
+        t = TruncatedGaussian(0.0, 1.0, -1.0, 1.0)
+        assert float(t.pdf(2.0)) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        t = TruncatedGaussian(0.0, 1.0, -1.0, 1.0)
+        xs = np.linspace(-1.0, 1.0, 2_001)
+        integral = np.trapezoid(t.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussian(0.0, 1.0, 2.0, 1.0)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussian(0.0, 0.0, 0.0, 1.0)
+
+    def test_sampled_mean_matches_analytic(self, fixed_rng):
+        t = TruncatedGaussian(3.0, 1.5, 0.0, 6.0)
+        samples = t.sample_n(50_000, fixed_rng)
+        assert np.mean(samples) == pytest.approx(t.mean, abs=0.03)
+
+
+class TestMultivariateGaussian:
+    def test_sample_shape(self, rng):
+        mvn = MultivariateGaussian([0.0, 0.0], np.eye(2))
+        assert mvn.sample_n(100, rng).shape == (100, 2)
+
+    def test_single_sample_is_vector(self, rng):
+        mvn = MultivariateGaussian([0.0, 1.0], np.eye(2))
+        assert mvn.sample(rng).shape == (2,)
+
+    def test_sampled_covariance(self, fixed_rng):
+        cov = np.array([[2.0, 0.8], [0.8, 1.0]])
+        mvn = MultivariateGaussian([1.0, -1.0], cov)
+        samples = mvn.sample_n(100_000, fixed_rng)
+        assert np.allclose(np.cov(samples.T), cov, atol=0.05)
+        assert np.allclose(samples.mean(axis=0), [1.0, -1.0], atol=0.02)
+
+    def test_bad_cov_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariateGaussian([0.0, 0.0], np.eye(3))
+
+    def test_bad_mean_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariateGaussian(np.zeros((2, 2)), np.eye(2))
+
+    def test_log_pdf_matches_scipy(self):
+        mvn = MultivariateGaussian([0.0, 0.0], np.eye(2))
+        expected = -math.log(2 * math.pi)  # density at the mean
+        assert mvn.log_pdf([0.0, 0.0]) == pytest.approx(expected)

@@ -1,0 +1,101 @@
+"""Tests for Triangular, LogNormal and StudentT."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import LogNormal, StudentT, Triangular
+
+
+class TestTriangular:
+    def test_moments(self):
+        t = Triangular(0.0, 1.0, 2.0)
+        assert t.mean == pytest.approx(1.0)
+        assert t.variance == pytest.approx(1.0 / 6.0)
+
+    def test_samples_in_range(self, rng):
+        t = Triangular(-1.0, 0.0, 3.0)
+        s = t.sample_n(5_000, rng)
+        assert s.min() >= -1.0 and s.max() <= 3.0
+
+    def test_pdf_integrates_to_one(self):
+        t = Triangular(0.0, 0.5, 2.0)
+        xs = np.linspace(-0.5, 2.5, 4_001)
+        assert np.trapezoid(t.pdf(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_endpoints(self):
+        t = Triangular(0.0, 1.0, 2.0)
+        assert float(t.cdf(0.0)) == 0.0
+        assert float(t.cdf(2.0)) == 1.0
+        assert float(t.cdf(1.0)) == pytest.approx(0.5)
+
+    def test_mode_at_edge(self, rng):
+        t = Triangular(0.0, 0.0, 1.0)
+        assert t.sample_n(100, rng).min() >= 0.0
+        assert float(t.pdf(0.0)) == pytest.approx(2.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            Triangular(2.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            Triangular(1.0, 1.0, 1.0)
+
+
+class TestLogNormal:
+    def test_samples_positive(self, rng):
+        assert LogNormal(0.0, 1.0).sample_n(5_000, rng).min() > 0.0
+
+    def test_mean(self):
+        ln = LogNormal(0.0, 1.0)
+        assert ln.mean == pytest.approx(math.exp(0.5))
+
+    def test_median_via_cdf(self):
+        ln = LogNormal(1.0, 0.5)
+        assert float(ln.cdf(math.exp(1.0))) == pytest.approx(0.5)
+
+    def test_pdf_zero_for_non_positive(self):
+        ln = LogNormal(0.0, 1.0)
+        assert float(ln.pdf(0.0)) == 0.0
+        assert float(ln.pdf(-1.0)) == 0.0
+
+    def test_sampled_mean(self, fixed_rng):
+        ln = LogNormal(0.0, 0.25)
+        s = ln.sample_n(50_000, fixed_rng)
+        assert s.mean() == pytest.approx(ln.mean, rel=0.02)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 0.0)
+
+
+class TestStudentT:
+    def test_location(self):
+        t = StudentT(5.0, loc=2.0)
+        assert t.mean == 2.0
+
+    def test_variance_inflation(self):
+        t = StudentT(5.0, scale=1.0)
+        assert t.variance == pytest.approx(5.0 / 3.0)
+
+    def test_moments_undefined_for_low_df(self):
+        with pytest.raises(NotImplementedError):
+            _ = StudentT(1.0).mean
+        with pytest.raises(NotImplementedError):
+            _ = StudentT(2.0).variance
+
+    def test_cdf_at_loc(self):
+        assert float(StudentT(3.0, loc=1.0).cdf(1.0)) == pytest.approx(0.5)
+
+    def test_heavier_tails_than_gaussian(self):
+        from repro.dists import Gaussian
+
+        t = StudentT(3.0)
+        g = Gaussian(0.0, 1.0)
+        assert float(t.pdf(4.0)) > float(g.pdf(4.0))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            StudentT(0.0)
+        with pytest.raises(ValueError):
+            StudentT(3.0, scale=0.0)

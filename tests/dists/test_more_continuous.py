@@ -1,0 +1,125 @@
+"""Tests for Weibull, Laplace, Cauchy and VonMises."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import Cauchy, Laplace, VonMises, Weibull
+from repro.rng import default_rng
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        from repro.dists import Exponential
+
+        w = Weibull(1.0, 2.0)
+        e = Exponential(0.5)
+        xs = np.linspace(0.1, 5.0, 20)
+        assert np.allclose(w.pdf(xs), e.pdf(xs))
+
+    def test_moments(self):
+        w = Weibull(2.0, 1.0)
+        assert w.mean == pytest.approx(math.gamma(1.5))
+        assert w.variance == pytest.approx(math.gamma(2.0) - math.gamma(1.5) ** 2)
+
+    def test_sampled_mean(self, fixed_rng):
+        w = Weibull(1.5, 3.0)
+        assert w.sample_n(50_000, fixed_rng).mean() == pytest.approx(w.mean, rel=0.02)
+
+    def test_cdf_median(self):
+        w = Weibull(2.0, 1.0)
+        median = (math.log(2)) ** 0.5
+        assert float(w.cdf(median)) == pytest.approx(0.5)
+
+    def test_support(self, rng):
+        assert Weibull(0.8, 1.0).sample_n(2_000, rng).min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+
+class TestLaplace:
+    def test_moments(self):
+        l = Laplace(2.0, 3.0)
+        assert l.mean == 2.0
+        assert l.variance == 18.0
+
+    def test_cdf_at_mu(self):
+        assert float(Laplace(1.0, 2.0).cdf(1.0)) == pytest.approx(0.5)
+
+    def test_pdf_peak(self):
+        l = Laplace(0.0, 1.0)
+        assert float(l.pdf(0.0)) == pytest.approx(0.5)
+
+    def test_heavier_tail_than_gaussian(self):
+        from repro.dists import Gaussian
+
+        assert float(Laplace(0, 1).pdf(5.0)) > float(Gaussian(0, 1).pdf(5.0))
+
+    def test_sampled_variance(self, fixed_rng):
+        l = Laplace(0.0, 1.0)
+        assert np.var(l.sample_n(50_000, fixed_rng)) == pytest.approx(2.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Laplace(0.0, 0.0)
+
+
+class TestCauchy:
+    def test_no_moments(self):
+        with pytest.raises(NotImplementedError):
+            _ = Cauchy().mean
+        with pytest.raises(NotImplementedError):
+            _ = Cauchy().variance
+
+    def test_median(self):
+        c = Cauchy(3.0, 2.0)
+        assert c.median == 3.0
+        assert float(c.cdf(3.0)) == pytest.approx(0.5)
+
+    def test_quartiles(self):
+        c = Cauchy(0.0, 1.0)
+        assert float(c.cdf(1.0)) == pytest.approx(0.75)
+
+    def test_conditionals_still_work(self):
+        # No mean, but evidence is always defined.
+        from repro.core.uncertain import Uncertain
+
+        u = Uncertain(Cauchy(2.0, 1.0))
+        assert (u > 2.0).evidence(20_000, default_rng(0)) == pytest.approx(0.5, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cauchy(scale=0.0)
+
+
+class TestVonMises:
+    def test_samples_in_circle(self, rng):
+        s = VonMises(0.0, 2.0).sample_n(2_000, rng)
+        assert s.min() >= -math.pi and s.max() <= math.pi
+
+    def test_concentration(self, fixed_rng):
+        tight = VonMises(0.0, 50.0).sample_n(5_000, fixed_rng)
+        loose = VonMises(0.0, 0.5).sample_n(5_000, fixed_rng)
+        assert np.std(tight) < np.std(loose)
+
+    def test_kappa_zero_is_uniform(self):
+        v = VonMises(0.0, 0.0)
+        assert v.variance == 1.0
+        xs = np.array([-2.0, 0.0, 2.0])
+        assert np.allclose(v.pdf(xs), 1.0 / (2 * math.pi))
+
+    def test_pdf_peak_at_mu(self):
+        v = VonMises(1.0, 4.0)
+        assert float(v.pdf(1.0)) > float(v.pdf(0.0))
+
+    def test_circular_variance_decreases_with_kappa(self):
+        assert VonMises(0, 10.0).variance < VonMises(0, 1.0).variance
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VonMises(0.0, -1.0)

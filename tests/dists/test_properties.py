@@ -1,0 +1,115 @@
+"""Property-based tests over the distribution library (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dists import (
+    Beta,
+    Bernoulli,
+    Exponential,
+    Gamma,
+    Gaussian,
+    LogNormal,
+    Rayleigh,
+    Triangular,
+    Uniform,
+)
+from repro.rng import default_rng
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+positive = st.floats(min_value=1e-2, max_value=1e2, allow_nan=False)
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(mu=finite, sigma=positive)
+@settings(max_examples=30, deadline=None)
+def test_gaussian_samples_match_moments(mu, sigma):
+    rng = default_rng(7)
+    g = Gaussian(mu, sigma)
+    s = g.sample_n(4_000, rng)
+    assert abs(np.mean(s) - mu) < 6 * sigma / math.sqrt(4_000) + 1e-9
+    assert 0.8 * sigma < np.std(s) < 1.2 * sigma
+
+
+@given(mu=finite, sigma=positive)
+@settings(max_examples=30, deadline=None)
+def test_gaussian_cdf_monotone_and_bounded(mu, sigma):
+    g = Gaussian(mu, sigma)
+    xs = np.linspace(mu - 4 * sigma, mu + 4 * sigma, 101)
+    cdf = np.asarray(g.cdf(xs), dtype=float)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[0] >= 0.0 and cdf[-1] <= 1.0
+
+
+@given(scale=positive)
+@settings(max_examples=30, deadline=None)
+def test_rayleigh_support_and_cdf(scale):
+    r = Rayleigh(scale)
+    rng = default_rng(11)
+    s = r.sample_n(500, rng)
+    assert s.min() >= 0
+    assert float(r.cdf(scale * 10)) > 0.99
+
+
+@given(p=probability)
+@settings(max_examples=30, deadline=None)
+def test_bernoulli_mean_is_p(p):
+    b = Bernoulli(p)
+    assert b.mean == p
+    assert 0.0 <= b.variance <= 0.25
+
+
+@given(rate=positive)
+@settings(max_examples=30, deadline=None)
+def test_exponential_quantiles(rate):
+    e = Exponential(rate)
+    median = math.log(2) / rate
+    assert abs(float(e.cdf(median)) - 0.5) < 1e-9
+
+
+@given(a=positive, b=positive)
+@settings(max_examples=30, deadline=None)
+def test_beta_mean_in_unit_interval(a, b):
+    beta = Beta(a, b)
+    assert 0.0 < beta.mean < 1.0
+    assert beta.variance < 0.25
+
+
+@given(shape=positive, rate=positive)
+@settings(max_examples=30, deadline=None)
+def test_gamma_pdf_non_negative(shape, rate):
+    g = Gamma(shape, rate)
+    xs = np.linspace(0.01, 10.0, 50)
+    assert np.all(np.asarray(g.pdf(xs)) >= 0)
+
+
+@given(low=finite, width=positive)
+@settings(max_examples=30, deadline=None)
+def test_uniform_samples_in_support(low, width):
+    u = Uniform(low, low + width)
+    rng = default_rng(3)
+    s = u.sample_n(200, rng)
+    assert s.min() >= low and s.max() <= low + width
+
+
+@given(
+    low=st.floats(min_value=-10, max_value=0, allow_nan=False),
+    mode_frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    width=st.floats(min_value=0.5, max_value=10, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_triangular_mean_between_bounds(low, mode_frac, width):
+    high = low + width
+    mode = low + mode_frac * width
+    t = Triangular(low, mode, high)
+    assert low <= t.mean <= high
+
+
+@given(mu=st.floats(min_value=-2, max_value=2), sigma=st.floats(min_value=0.05, max_value=1.5))
+@settings(max_examples=30, deadline=None)
+def test_lognormal_median(mu, sigma):
+    ln = LogNormal(mu, sigma)
+    assert abs(float(ln.cdf(math.exp(mu))) - 0.5) < 1e-9

@@ -1,0 +1,49 @@
+"""Tests for the Rayleigh distribution (the GPS error model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import Rayleigh
+from repro.dists.rayleigh import SCALE_FROM_95CI
+
+
+class TestRayleigh:
+    def test_moments(self):
+        r = Rayleigh(2.0)
+        assert r.mean == pytest.approx(2.0 * math.sqrt(math.pi / 2))
+        assert r.variance == pytest.approx((2 - math.pi / 2) * 4.0)
+
+    def test_samples_non_negative(self, rng):
+        assert Rayleigh(1.0).sample_n(5_000, rng).min() >= 0.0
+
+    def test_sampled_mean(self, fixed_rng):
+        r = Rayleigh(3.0)
+        assert r.sample_n(50_000, fixed_rng).mean() == pytest.approx(r.mean, rel=0.02)
+
+    def test_cdf_at_zero(self):
+        assert float(Rayleigh(1.0).cdf(0.0)) == 0.0
+
+    def test_pdf_zero_for_negative(self):
+        assert float(Rayleigh(1.0).pdf(-1.0)) == 0.0
+
+    def test_from_95ci_puts_95_percent_inside(self):
+        # The defining property of the paper's eps / sqrt(ln 400) scale.
+        r = Rayleigh.from_95ci(4.0)
+        assert float(r.cdf(4.0)) == pytest.approx(0.95)
+
+    def test_scale_constant(self):
+        assert SCALE_FROM_95CI == pytest.approx(1.0 / math.sqrt(math.log(400.0)))
+
+    def test_pdf_peaks_at_scale(self):
+        r = Rayleigh(2.0)
+        xs = np.linspace(0.01, 8.0, 1_000)
+        peak = xs[np.argmax(r.pdf(xs))]
+        assert peak == pytest.approx(2.0, abs=0.02)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Rayleigh(0.0)
+        with pytest.raises(ValueError):
+            Rayleigh.from_95ci(-1.0)

@@ -1,0 +1,67 @@
+"""Tests for Uniform and DiscreteUniform."""
+
+import numpy as np
+import pytest
+
+from repro.dists import DiscreteUniform, Uniform
+
+
+class TestUniform:
+    def test_moments(self):
+        u = Uniform(2.0, 6.0)
+        assert u.mean == 4.0
+        assert u.variance == pytest.approx(16.0 / 12.0)
+
+    def test_samples_in_range(self, rng):
+        u = Uniform(-3.0, -1.0)
+        s = u.sample_n(5_000, rng)
+        assert s.min() >= -3.0 and s.max() < -1.0
+
+    def test_pdf_inside_and_outside(self):
+        u = Uniform(0.0, 2.0)
+        assert float(u.pdf(1.0)) == pytest.approx(0.5)
+        assert float(u.pdf(3.0)) == 0.0
+
+    def test_cdf_clipping(self):
+        u = Uniform(0.0, 1.0)
+        assert float(u.cdf(-1.0)) == 0.0
+        assert float(u.cdf(0.25)) == pytest.approx(0.25)
+        assert float(u.cdf(2.0)) == 1.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+
+class TestDiscreteUniform:
+    def test_inclusive_bounds(self, rng):
+        d = DiscreteUniform(1, 6)
+        s = d.sample_n(10_000, rng)
+        assert set(np.unique(s)) == {1, 2, 3, 4, 5, 6}
+
+    def test_moments(self):
+        d = DiscreteUniform(1, 6)
+        assert d.mean == 3.5
+        assert d.variance == pytest.approx(35.0 / 12.0)
+
+    def test_pmf(self):
+        d = DiscreteUniform(0, 4)
+        assert float(d.pdf(2)) == pytest.approx(0.2)
+        assert float(d.pdf(2.5)) == 0.0
+        assert float(d.pdf(7)) == 0.0
+
+    def test_single_point(self, rng):
+        d = DiscreteUniform(3, 3)
+        assert np.all(d.sample_n(10, rng) == 3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteUniform(4, 2)
+
+    def test_discrete_flag(self):
+        assert DiscreteUniform(0, 1).discrete
+        assert not Uniform(0.0, 1.0).discrete

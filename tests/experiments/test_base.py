@@ -1,0 +1,70 @@
+"""Tests for the experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentResult,
+    experiment,
+    registry,
+    render_table,
+    run_experiment,
+)
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        table = render_table([{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2}])
+        lines = table.split("\n")
+        assert lines[0].startswith("name")
+        assert "1.235" in table  # 4 significant digits
+        assert len(lines) == 4
+
+    def test_missing_keys_blank(self):
+        table = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert table.count("\n") == 3
+
+
+class TestExperimentResult:
+    def test_render_includes_claims(self):
+        result = ExperimentResult(
+            "figX", "demo", [{"k": 1}], {"holds": True, "fails": False}, notes="n"
+        )
+        text = result.render()
+        assert "[x] holds" in text
+        assert "[ ] fails" in text
+        assert "note: n" in text
+        assert not result.all_claims_hold
+
+    def test_all_claims_hold(self):
+        result = ExperimentResult("figX", "demo", [], {"a": True})
+        assert result.all_claims_hold
+
+
+class TestRegistry:
+    def test_known_experiments_registered(self):
+        import repro.experiments  # noqa: F401
+
+        for expected in (
+            "fig01", "fig03", "fig04", "fig06", "fig08", "fig09", "fig11",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "sec2", "table1",
+            "ext_geofence", "ext_fusion", "ext_life_dynamics", "ext_hardware",
+            "ext_baselines",
+        ):
+            assert expected in registry
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_decorator_registers(self):
+        @experiment("zztest")
+        def run(seed=0, fast=True):
+            return ExperimentResult("zztest", "t", [])
+
+        try:
+            assert run_experiment("zztest").experiment_id == "zztest"
+        finally:
+            del registry["zztest"]

@@ -1,0 +1,56 @@
+"""Every experiment driver runs (fast protocol) and its shape claims hold.
+
+These are the repository's integration tests against the paper: each one
+regenerates a figure and asserts the qualitative conclusions.  The heavier
+drivers are marked ``slow``-ish via smaller protocols inside ``fast=True``.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+CHEAP = [
+    "fig01", "fig04", "fig06", "fig08", "fig09", "fig11", "sec2", "table1",
+    "fig17", "fig03", "ext_geofence", "ext_fusion", "ext_life_dynamics",
+    "ext_baselines",
+]
+
+
+def test_ext_hardware_claims_hold():
+    result = run_experiment("ext_hardware", fast=True)
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, f"ext_hardware failed claims: {failed}"
+
+
+@pytest.mark.parametrize("experiment_id", CHEAP)
+def test_cheap_experiments_claims_hold(experiment_id):
+    result = run_experiment(experiment_id, fast=True)
+    assert result.rows, f"{experiment_id} produced no rows"
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, f"{experiment_id} failed claims: {failed}"
+
+
+def test_fig13_walking_claims_hold():
+    result = run_experiment("fig13", fast=True)
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, f"fig13 failed claims: {failed}"
+
+
+def test_fig14_sensorlife_claims_hold():
+    result = run_experiment("fig14", fast=True)
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, f"fig14 failed claims: {failed}"
+
+
+def test_fig15_fig16_parakeet_claims_hold():
+    # fig15 and fig16 share one trained-model cache; run both here.
+    for experiment_id in ("fig15", "fig16"):
+        result = run_experiment(experiment_id, fast=True)
+        failed = [claim for claim, ok in result.claims.items() if not ok]
+        assert not failed, f"{experiment_id} failed claims: {failed}"
+
+
+def test_results_render_as_text():
+    result = run_experiment("fig06", fast=True)
+    text = result.render()
+    assert "fig06" in text and "[x]" in text

@@ -1,0 +1,103 @@
+"""Tests for the particle-filter sensor fusion."""
+
+import numpy as np
+import pytest
+
+from repro.gps.fusion import FusionResult, MotionModel, ParticleFilter, track_walk
+from repro.gps.geo import GeoCoordinate, enu_distance_m
+from repro.gps.sensor import GpsFix, GpsSensor
+from repro.gps.trace import WalkConfig, generate_walk
+from repro.rng import default_rng
+
+ORIGIN = GeoCoordinate(47.64, -122.13)
+
+
+def fix_at(east, north, eps=4.0, t=0.0):
+    return GpsFix(ORIGIN.offset_m(east, north), eps, t)
+
+
+class TestMotionModel:
+    def test_speed_capped(self):
+        model = MotionModel(max_speed_mph=5.0)
+        positions = np.zeros((500, 2))
+        headings = np.zeros(500)
+        new_pos, _ = model.propagate(positions, headings, 1.0, default_rng(0))
+        distances = np.linalg.norm(new_pos, axis=1)
+        from repro.gps.units import mph_to_mps
+
+        assert distances.max() <= mph_to_mps(5.0) + 1e-9
+
+    def test_heading_diffusion(self):
+        model = MotionModel(heading_sigma_rad=0.5)
+        _, headings = model.propagate(
+            np.zeros((200, 2)), np.zeros(200), 1.0, default_rng(1)
+        )
+        assert headings.std() == pytest.approx(0.5, rel=0.2)
+
+
+class TestParticleFilter:
+    def test_initial_cloud_matches_fix_posterior(self):
+        pf = ParticleFilter(fix_at(0, 0, eps=4.0), n_particles=2_000, rng=default_rng(2))
+        radii = np.linalg.norm(pf.positions, axis=1)
+        assert np.mean(radii <= 4.0) == pytest.approx(0.95, abs=0.02)
+
+    def test_update_pulls_toward_fix(self):
+        pf = ParticleFilter(fix_at(0, 0), n_particles=500, rng=default_rng(3))
+        for t in range(1, 6):
+            pf.predict(1.0)
+            pf.update(fix_at(20.0, 0.0, eps=3.0, t=float(t)))
+        mean = pf.mean_position()
+        east, north = mean.enu_m(ORIGIN)
+        assert east == pytest.approx(20.0, abs=5.0)
+
+    def test_resampling_triggers(self):
+        pf = ParticleFilter(fix_at(0, 0), n_particles=200, rng=default_rng(4))
+        pf.predict(1.0)
+        pf.update(fix_at(50.0, 0.0, eps=2.0, t=1.0))  # very surprising fix
+        assert pf.resample_count >= 1
+        assert pf.effective_sample_size > 100  # reset after resampling
+
+    def test_location_is_uncertain_geocoordinate(self):
+        pf = ParticleFilter(fix_at(0, 0), rng=default_rng(5))
+        loc = pf.location()
+        sample = loc.sample(default_rng(6))
+        assert isinstance(sample, GeoCoordinate)
+
+    def test_location_composes_with_geofence(self):
+        from repro.core.conditionals import evaluation_config
+        from repro.gps.geofence import Geofence
+
+        pf = ParticleFilter(fix_at(50.0, 40.0, eps=3.0), rng=default_rng(7))
+        park = Geofence.rectangle(ORIGIN, 100.0, 80.0)
+        with evaluation_config(rng=default_rng(8)):
+            assert park.contains(pf.location()).pr(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleFilter(fix_at(0, 0), n_particles=5)
+        with pytest.raises(ValueError):
+            ParticleFilter(fix_at(0, 0), resample_threshold=0.0)
+        pf = ParticleFilter(fix_at(0, 0), rng=default_rng(9))
+        with pytest.raises(ValueError):
+            pf.predict(0.0)
+
+
+class TestTrackWalk:
+    def test_fusion_beats_raw_fixes_with_glitchy_sensor(self):
+        trace = generate_walk(WalkConfig(duration_s=120.0), rng=default_rng(10))
+        sensor = GpsSensor(
+            6.0,
+            rng=default_rng(11),
+            correlation=0.0,
+            glitch_probability=0.03,
+            glitch_scale_m=25.0,
+        )
+        result = track_walk(trace, sensor, n_particles=300, rng=default_rng(12))
+        assert isinstance(result, FusionResult)
+        assert result.improvement > 1.1  # history + physics must help
+
+    def test_error_series_lengths(self):
+        trace = generate_walk(WalkConfig(duration_s=20.0), rng=default_rng(13))
+        sensor = GpsSensor(4.0, rng=default_rng(14))
+        result = track_walk(trace, sensor, n_particles=100, rng=default_rng(15))
+        assert len(result.raw_errors_m) == len(result.fused_errors_m) == 20

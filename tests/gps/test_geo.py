@@ -1,0 +1,77 @@
+"""Tests for GeoCoordinate and geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.gps.geo import GeoCoordinate, enu_distance_m, haversine_m
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = GeoCoordinate(1.0, 2.0)
+        b = GeoCoordinate(0.5, 0.25)
+        assert a + b == GeoCoordinate(1.5, 2.25)
+        assert a - b == GeoCoordinate(0.5, 1.75)
+
+    def test_scalar_mul_div(self):
+        a = GeoCoordinate(2.0, 4.0)
+        assert a * 0.5 == GeoCoordinate(1.0, 2.0)
+        assert 0.5 * a == GeoCoordinate(1.0, 2.0)
+        assert a / 2.0 == GeoCoordinate(1.0, 2.0)
+
+    def test_neg(self):
+        assert -GeoCoordinate(1.0, -2.0) == GeoCoordinate(-1.0, 2.0)
+
+    def test_mean_via_sum_and_div(self):
+        # The object path of expected_value relies on + and /.
+        pts = [GeoCoordinate(0.0, 0.0), GeoCoordinate(2.0, 4.0)]
+        mean = (pts[0] + pts[1]) / 2
+        assert mean == GeoCoordinate(1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GeoCoordinate(0.0, 0.0).latitude = 1.0
+
+
+class TestGeometry:
+    def test_offset_north(self):
+        origin = GeoCoordinate(47.0, -122.0)
+        moved = origin.offset_m(0.0, 100.0)
+        east, north = moved.enu_m(origin)
+        assert east == pytest.approx(0.0, abs=1e-6)
+        assert north == pytest.approx(100.0, rel=1e-6)
+
+    def test_offset_east_accounts_for_latitude(self):
+        origin = GeoCoordinate(60.0, 10.0)  # high latitude
+        moved = origin.offset_m(100.0, 0.0)
+        east, _ = moved.enu_m(origin)
+        assert east == pytest.approx(100.0, rel=1e-3)
+
+    def test_offset_roundtrip(self):
+        origin = GeoCoordinate(47.64, -122.13)
+        moved = origin.offset_m(123.0, -45.0)
+        east, north = moved.enu_m(origin)
+        assert east == pytest.approx(123.0, rel=1e-4)
+        assert north == pytest.approx(-45.0, rel=1e-4)
+
+    def test_haversine_known_distance(self):
+        # One degree of latitude is ~111.2 km.
+        a = GeoCoordinate(0.0, 0.0)
+        b = GeoCoordinate(1.0, 0.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=1e-3)
+
+    def test_haversine_zero(self):
+        a = GeoCoordinate(10.0, 20.0)
+        assert haversine_m(a, a) == 0.0
+
+    def test_enu_matches_haversine_at_walk_scale(self):
+        a = GeoCoordinate(47.64, -122.13)
+        b = a.offset_m(30.0, 40.0)
+        assert enu_distance_m(a, b) == pytest.approx(50.0, rel=1e-4)
+        assert haversine_m(a, b) == pytest.approx(50.0, rel=1e-2)
+
+    def test_symmetry(self):
+        a = GeoCoordinate(47.0, -122.0)
+        b = a.offset_m(10.0, 20.0)
+        assert enu_distance_m(a, b) == pytest.approx(enu_distance_m(b, a), rel=1e-6)

@@ -1,0 +1,113 @@
+"""Tests for geofencing with uncertain locations."""
+
+import pytest
+
+from repro.core.conditionals import evaluation_config
+from repro.core.uncertain import UncertainBool
+from repro.gps.geo import GeoCoordinate
+from repro.gps.geofence import Geofence, entry_events_naive, entry_events_uncertain
+from repro.gps.sensor import GpsFix, gps_posterior
+from repro.rng import default_rng
+
+ORIGIN = GeoCoordinate(47.64, -122.13)
+
+
+@pytest.fixture
+def park() -> Geofence:
+    return Geofence.rectangle(ORIGIN, 100.0, 80.0)
+
+
+class TestExactContainment:
+    def test_inside(self, park):
+        assert park.contains_point(ORIGIN.offset_m(50.0, 40.0))
+
+    def test_outside(self, park):
+        assert not park.contains_point(ORIGIN.offset_m(150.0, 40.0))
+        assert not park.contains_point(ORIGIN.offset_m(50.0, -10.0))
+
+    def test_concave_polygon(self):
+        # L-shaped fence: the notch is outside.
+        fence = Geofence(
+            [
+                ORIGIN,
+                ORIGIN.offset_m(100.0, 0.0),
+                ORIGIN.offset_m(100.0, 100.0),
+                ORIGIN.offset_m(50.0, 100.0),
+                ORIGIN.offset_m(50.0, 50.0),
+                ORIGIN.offset_m(0.0, 50.0),
+            ]
+        )
+        assert fence.contains_point(ORIGIN.offset_m(25.0, 25.0))
+        assert fence.contains_point(ORIGIN.offset_m(75.0, 75.0))
+        assert not fence.contains_point(ORIGIN.offset_m(25.0, 75.0))
+
+    def test_plain_coordinate_returns_bool(self, park):
+        assert isinstance(park.contains(ORIGIN.offset_m(1.0, 1.0)), bool)
+
+    def test_too_few_corners(self):
+        with pytest.raises(ValueError):
+            Geofence([ORIGIN, ORIGIN.offset_m(1, 1)])
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            Geofence.rectangle(ORIGIN, 0.0, 10.0)
+
+
+class TestUncertainContainment:
+    def test_returns_uncertain_bool(self, park):
+        loc = gps_posterior(GpsFix(ORIGIN.offset_m(50, 40), 4.0, 0.0))
+        assert isinstance(park.contains(loc), UncertainBool)
+
+    def test_deep_inside_high_evidence(self, park):
+        loc = gps_posterior(GpsFix(ORIGIN.offset_m(50, 40), 4.0, 0.0))
+        assert park.contains(loc).evidence(2_000, default_rng(0)) > 0.99
+
+    def test_boundary_graded_evidence(self, park):
+        # A fix exactly on the fence line: ~half the mass is inside.
+        loc = gps_posterior(GpsFix(ORIGIN.offset_m(0.0, 40.0), 4.0, 0.0))
+        evidence = park.contains(loc).evidence(4_000, default_rng(1))
+        assert 0.3 < evidence < 0.7
+
+    def test_explicit_conditional(self, park):
+        loc = gps_posterior(GpsFix(ORIGIN.offset_m(0.0, 40.0), 4.0, 0.0))
+        with evaluation_config(rng=default_rng(2)):
+            assert not park.contains(loc).pr(0.95)
+
+
+class TestEntryEvents:
+    def _jittery_fixes(self, n=40):
+        # A user standing still just outside the west fence; fixes jitter
+        # across the boundary.
+        rng = default_rng(3)
+        true = ORIGIN.offset_m(-1.0, 40.0)
+        return [
+            true.offset_m(rng.normal(0, 3.0), rng.normal(0, 3.0)) for _ in range(n)
+        ]
+
+    def test_naive_generates_event_storm(self, park):
+        fixes = self._jittery_fixes()
+        naive_events = entry_events_naive(park, fixes)
+        assert len(naive_events) >= 3  # repeated spurious entries
+
+    def test_uncertain_suppresses_storm(self, park):
+        # A fix can land far enough inside to genuinely carry > 95%
+        # evidence, so "no events" is too strong — but the storm must be
+        # drastically thinner than the naive one.
+        fixes = self._jittery_fixes()
+        naive_events = entry_events_naive(park, fixes)
+        locations = [gps_posterior(GpsFix(f, 6.0, float(i))) for i, f in enumerate(fixes)]
+        with evaluation_config(rng=default_rng(4)):
+            events = entry_events_uncertain(park, locations, evidence=0.95)
+        assert len(events) <= len(naive_events) // 3
+
+    def test_uncertain_still_detects_real_entry(self, park):
+        # Walk decisively into the middle of the park.
+        path = [ORIGIN.offset_m(-20.0 + 10.0 * i, 40.0) for i in range(10)]
+        locations = [gps_posterior(GpsFix(p, 3.0, float(i))) for i, p in enumerate(path)]
+        with evaluation_config(rng=default_rng(5)):
+            events = entry_events_uncertain(park, locations, evidence=0.9)
+        assert len(events) == 1
+
+    def test_evidence_validation(self, park):
+        with pytest.raises(ValueError):
+            entry_events_uncertain(park, [], evidence=1.0)

@@ -1,0 +1,130 @@
+"""Tests for the GPS sensor and its Rayleigh posterior."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gps.geo import GeoCoordinate, enu_distance_m
+from repro.gps.sensor import (
+    GpsFix,
+    GpsSensor,
+    gps_posterior,
+    gps_posterior_enu,
+    rayleigh_scale,
+)
+from repro.rng import default_rng
+
+ORIGIN = GeoCoordinate(47.64, -122.13)
+
+
+class TestRayleighScale:
+    def test_value(self):
+        assert rayleigh_scale(4.0) == pytest.approx(4.0 / math.sqrt(math.log(400)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rayleigh_scale(0.0)
+
+
+class TestGpsPosterior:
+    def test_radial_distribution(self, fixed_rng):
+        fix = GpsFix(ORIGIN, 4.0, 0.0)
+        loc = gps_posterior(fix)
+        samples = loc.samples(5_000, fixed_rng)
+        dists = np.array([enu_distance_m(ORIGIN, s) for s in samples])
+        # 95% of the posterior mass lies within the 95% accuracy radius.
+        assert np.mean(dists <= 4.0) == pytest.approx(0.95, abs=0.01)
+
+    def test_isotropy(self, fixed_rng):
+        fix = GpsFix(ORIGIN, 8.0, 0.0)
+        samples = gps_posterior(fix).samples(5_000, fixed_rng)
+        easts = np.array([s.enu_m(ORIGIN)[0] for s in samples])
+        norths = np.array([s.enu_m(ORIGIN)[1] for s in samples])
+        assert abs(easts.mean()) < 0.3 and abs(norths.mean()) < 0.3
+        assert easts.std() == pytest.approx(norths.std(), rel=0.1)
+
+    def test_enu_posterior_matches_object_posterior(self, fixed_rng):
+        fix = GpsFix(ORIGIN.offset_m(10.0, 5.0), 4.0, 0.0)
+        east, north = gps_posterior_enu(fix, ORIGIN)
+        assert east.expected_value(20_000, default_rng(0)) == pytest.approx(10.0, abs=0.1)
+        assert north.expected_value(20_000, default_rng(1)) == pytest.approx(5.0, abs=0.1)
+
+    def test_enu_components_jointly_consistent(self, fixed_rng):
+        # east^2 + north^2 must follow the Rayleigh radial law, which only
+        # holds when the two components share the same underlying draw.
+        fix = GpsFix(ORIGIN, 4.0, 0.0)
+        east, north = gps_posterior_enu(fix, ORIGIN)
+        radius = (east**2 + north**2) ** 0.5
+        r95 = np.quantile(radius.samples(20_000, fixed_rng), 0.95)
+        assert r95 == pytest.approx(4.0, rel=0.03)
+
+
+class TestGpsSensor:
+    def test_iid_error_statistics(self, fixed_rng):
+        sensor = GpsSensor(4.0, rng=fixed_rng)
+        dists = np.array(
+            [
+                enu_distance_m(ORIGIN, sensor.measure(ORIGIN, t).coordinate)
+                for t in range(3_000)
+            ]
+        )
+        assert np.mean(dists <= 4.0) == pytest.approx(0.95, abs=0.02)
+
+    def test_correlated_errors_move_slowly(self):
+        sensor = GpsSensor(4.0, rng=default_rng(1), correlation=0.99)
+        fixes = [sensor.measure(ORIGIN, t) for t in range(100)]
+        steps = [
+            enu_distance_m(a.coordinate, b.coordinate)
+            for a, b in zip(fixes, fixes[1:])
+        ]
+        iid_sensor = GpsSensor(4.0, rng=default_rng(1), correlation=0.0)
+        iid_fixes = [iid_sensor.measure(ORIGIN, t) for t in range(100)]
+        iid_steps = [
+            enu_distance_m(a.coordinate, b.coordinate)
+            for a, b in zip(iid_fixes, iid_fixes[1:])
+        ]
+        assert np.mean(steps) < 0.5 * np.mean(iid_steps)
+
+    def test_glitches_produce_jumps_and_honest_accuracy(self):
+        sensor = GpsSensor(
+            4.0,
+            rng=default_rng(2),
+            correlation=0.9,
+            glitch_probability=0.2,
+            glitch_scale_m=50.0,
+            glitch_duration_s=2.0,
+        )
+        fixes = [sensor.measure(ORIGIN, float(t)) for t in range(200)]
+        accuracies = [f.horizontal_accuracy for f in fixes]
+        assert max(accuracies) > 10.0  # honest sensor reports bad accuracy
+        dists = [enu_distance_m(ORIGIN, f.coordinate) for f in fixes]
+        assert max(dists) > 20.0  # jumps actually happened
+
+    def test_dishonest_accuracy_stays_constant(self):
+        sensor = GpsSensor(
+            4.0,
+            rng=default_rng(3),
+            glitch_probability=0.5,
+            honest_accuracy=False,
+        )
+        fixes = [sensor.measure(ORIGIN, float(t)) for t in range(50)]
+        assert all(f.horizontal_accuracy == 4.0 for f in fixes)
+
+    def test_get_location_returns_uncertain(self, rng):
+        sensor = GpsSensor(4.0, rng=rng)
+        loc = sensor.get_location(ORIGIN)
+        sample = loc.sample(rng)
+        assert isinstance(sample, GeoCoordinate)
+
+    def test_error_magnitude_dist(self):
+        sensor = GpsSensor(4.0)
+        assert float(sensor.error_magnitude_dist.cdf(4.0)) == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpsSensor(0.0)
+        with pytest.raises(ValueError):
+            GpsSensor(4.0, correlation=1.0)
+        with pytest.raises(ValueError):
+            GpsSensor(4.0, glitch_probability=1.5)

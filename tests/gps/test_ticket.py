@@ -1,0 +1,77 @@
+"""Tests for the speeding-ticket model (Figure 4, Section 2)."""
+
+import pytest
+
+from repro.gps.ticket import (
+    speed_ci_95_mph,
+    speed_distribution_mph,
+    ticket_condition,
+    ticket_probability,
+)
+from repro.rng import default_rng
+
+
+class TestSpeedCI:
+    def test_papers_headline_number(self):
+        # 4 m accuracy -> ~12.7 mph 95% speed CI (Section 2).
+        assert speed_ci_95_mph(4.0) == pytest.approx(12.7, abs=0.1)
+
+    def test_scales_linearly_with_accuracy(self):
+        assert speed_ci_95_mph(8.0) == pytest.approx(2 * speed_ci_95_mph(4.0))
+
+    def test_scales_inversely_with_dt(self):
+        assert speed_ci_95_mph(4.0, dt_s=2.0) == pytest.approx(
+            speed_ci_95_mph(4.0) / 2
+        )
+
+
+class TestSpeedDistribution:
+    def test_high_speed_low_noise_is_tight(self, fixed_rng):
+        speed = speed_distribution_mph(60.0, 2.0)
+        assert speed.expected_value(10_000, fixed_rng) == pytest.approx(60.0, rel=0.01)
+
+    def test_zero_speed_still_positive(self, fixed_rng):
+        speed = speed_distribution_mph(0.0, 4.0)
+        samples = speed.samples(1_000, fixed_rng)
+        assert samples.min() >= 0.0
+        assert samples.mean() > 0.0  # noise creates apparent movement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speed_distribution_mph(-1.0, 4.0)
+        with pytest.raises(ValueError):
+            speed_distribution_mph(50.0, 0.0)
+        with pytest.raises(ValueError):
+            speed_distribution_mph(50.0, 4.0, dt_s=0.0)
+
+
+class TestTicketProbability:
+    def test_papers_headline_cell(self):
+        p = ticket_probability(57.0, 4.0, n=50_000, rng=default_rng(0))
+        assert 0.2 < p < 0.45  # paper: 32%
+
+    def test_monotone_in_speed(self):
+        rng = default_rng(1)
+        ps = [
+            ticket_probability(s, 4.0, n=20_000, rng=rng) for s in (50, 57, 63, 70)
+        ]
+        assert ps == sorted(ps)
+
+    def test_worse_accuracy_hurts_innocent_drivers(self):
+        rng = default_rng(2)
+        p_good = ticket_probability(55.0, 2.0, n=20_000, rng=rng)
+        p_bad = ticket_probability(55.0, 16.0, n=20_000, rng=rng)
+        assert p_bad > p_good
+
+    def test_condition_is_uncertain_bool(self):
+        from repro.core.uncertain import UncertainBool
+
+        assert isinstance(ticket_condition(57.0, 4.0), UncertainBool)
+
+    def test_explicit_evidence_protects_borderline_drivers(self):
+        # The paper's fix: demand strong evidence before ticketing.
+        from repro.core.conditionals import evaluation_config
+
+        cond = ticket_condition(57.0, 4.0)
+        with evaluation_config(rng=default_rng(3)):
+            assert not cond.pr(0.9)

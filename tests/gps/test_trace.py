@@ -1,0 +1,60 @@
+"""Tests for the synthetic walk generator."""
+
+import numpy as np
+import pytest
+
+from repro.gps.geo import enu_distance_m
+from repro.gps.trace import WalkConfig, generate_walk
+from repro.gps.units import mph_to_mps
+from repro.rng import default_rng
+
+
+class TestGenerateWalk:
+    def test_lengths(self):
+        trace = generate_walk(WalkConfig(duration_s=60.0), rng=default_rng(0))
+        assert len(trace) == 61
+        assert len(trace.timestamps) == 61
+        assert len(trace.true_speeds_mph) == 60
+
+    def test_positions_consistent_with_speeds(self):
+        trace = generate_walk(WalkConfig(duration_s=120.0), rng=default_rng(1))
+        for i in range(30):
+            d = enu_distance_m(trace.positions[i], trace.positions[i + 1])
+            expected = mph_to_mps(trace.true_speeds_mph[i]) * trace.config.dt_s
+            assert d == pytest.approx(expected, abs=1e-6)
+
+    def test_mean_speed_near_config(self):
+        trace = generate_walk(
+            WalkConfig(duration_s=900.0, pause_probability=0.0), rng=default_rng(2)
+        )
+        assert np.mean(trace.true_speeds_mph) == pytest.approx(3.0, abs=0.5)
+
+    def test_speeds_plausible(self):
+        trace = generate_walk(WalkConfig(duration_s=900.0), rng=default_rng(3))
+        assert trace.true_speeds_mph.min() >= 0.0
+        assert trace.true_speeds_mph.max() < 7.0
+
+    def test_pauses_produce_zero_speed(self):
+        cfg = WalkConfig(duration_s=600.0, pause_probability=0.2, pause_duration_s=5.0)
+        trace = generate_walk(cfg, rng=default_rng(4))
+        assert np.sum(trace.true_speeds_mph == 0.0) > 10
+
+    def test_deterministic_given_seed(self):
+        a = generate_walk(WalkConfig(duration_s=30.0), rng=default_rng(5))
+        b = generate_walk(WalkConfig(duration_s=30.0), rng=default_rng(5))
+        assert a.positions == b.positions
+
+    def test_different_seeds_differ(self):
+        a = generate_walk(WalkConfig(duration_s=30.0), rng=default_rng(6))
+        b = generate_walk(WalkConfig(duration_s=30.0), rng=default_rng(7))
+        assert a.positions != b.positions
+
+    def test_timestamps_uniform(self):
+        trace = generate_walk(WalkConfig(duration_s=10.0, dt_s=0.5), rng=default_rng(8))
+        assert np.allclose(np.diff(trace.timestamps), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_walk(WalkConfig(duration_s=0.5, dt_s=1.0))
+        with pytest.raises(ValueError):
+            generate_walk(WalkConfig(dt_s=0.0))

@@ -1,0 +1,87 @@
+"""Tests for free-running noisy Life dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.life.dynamics import (
+    DivergenceTrace,
+    compare_free_dynamics,
+    run_free_dynamics,
+    step_noisy_board,
+)
+from repro.life.engine import random_board, step_board
+from repro.life.variants import BayesLife, NaiveLife
+from repro.rng import default_rng
+
+
+class TestStepNoisyBoard:
+    def test_zero_noise_matches_exact(self):
+        from repro.core.conditionals import evaluation_config
+
+        board = random_board(8, 8, rng=default_rng(0))
+        with evaluation_config(rng=default_rng(1)):
+            noisy = step_noisy_board(board, NaiveLife(0.0), default_rng(2))
+        assert np.array_equal(noisy, step_board(board))
+
+    def test_shape_preserved(self):
+        from repro.core.conditionals import evaluation_config
+
+        board = random_board(5, 7, rng=default_rng(3))
+        with evaluation_config(rng=default_rng(4)):
+            noisy = step_noisy_board(board, NaiveLife(0.2), default_rng(5))
+        assert noisy.shape == (5, 7)
+
+
+class TestRunFreeDynamics:
+    def test_trace_fields(self):
+        trace = run_free_dynamics(
+            NaiveLife(0.2), 0.2, rows=6, cols=6, generations=4, rng=default_rng(6)
+        )
+        assert isinstance(trace, DivergenceTrace)
+        assert len(trace.disagreement) == 4
+        assert trace.variant == "NaiveLife"
+        assert np.all(trace.disagreement >= 0) and np.all(trace.disagreement <= 1)
+
+    def test_zero_noise_never_diverges(self):
+        trace = run_free_dynamics(
+            NaiveLife(0.0), 0.0, rows=6, cols=6, generations=5, rng=default_rng(7)
+        )
+        assert trace.final_disagreement == 0.0
+        assert trace.generations_until(0.01) == 5
+
+    def test_noisy_naive_diverges(self):
+        trace = run_free_dynamics(
+            NaiveLife(0.3), 0.3, rows=8, cols=8, generations=6, rng=default_rng(8)
+        )
+        assert trace.final_disagreement > 0.05
+
+    def test_generations_until(self):
+        trace = DivergenceTrace(
+            "x", 0.1, np.array([0.0, 0.02, 0.3]), np.zeros(3), np.zeros(3)
+        )
+        assert trace.generations_until(0.1) == 2
+        assert trace.generations_until(0.5) == 3
+
+
+class TestCompareFreeDynamics:
+    def test_bayes_outlasts_naive(self):
+        traces = compare_free_dynamics(
+            0.2,
+            variant_factories=[NaiveLife, BayesLife],
+            rng=default_rng(9),
+            rows=8, cols=8, generations=5, max_samples=200,
+        )
+        naive, bayes = traces
+        # The compounding-error hypothesis: Bayes stays pinned to truth
+        # longer than Naive from the identical seed board.
+        assert bayes.final_disagreement <= naive.final_disagreement
+        assert bayes.generations_until(0.05) >= naive.generations_until(0.05)
+
+    def test_same_seed_same_truth(self):
+        traces = compare_free_dynamics(
+            0.1,
+            variant_factories=[NaiveLife, BayesLife],
+            rng=default_rng(10),
+            rows=6, cols=6, generations=3, max_samples=200,
+        )
+        assert np.array_equal(traces[0].population_true, traces[1].population_true)

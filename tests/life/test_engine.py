@@ -1,0 +1,113 @@
+"""Tests for the exact Game of Life engine."""
+
+import numpy as np
+import pytest
+
+from repro.life.engine import (
+    neighbor_counts,
+    neighbor_states,
+    random_board,
+    step_board,
+    true_decision,
+)
+from repro.rng import default_rng
+
+
+def board_from(rows: list[str]) -> np.ndarray:
+    return np.array([[c == "#" for c in row] for row in rows])
+
+
+class TestRules:
+    def test_true_decision_survival(self):
+        assert true_decision(True, 2) and true_decision(True, 3)
+
+    def test_true_decision_death(self):
+        assert not true_decision(True, 1)
+        assert not true_decision(True, 4)
+        assert not true_decision(True, 0)
+
+    def test_true_decision_birth(self):
+        assert true_decision(False, 3)
+        assert not true_decision(False, 2)
+        assert not true_decision(False, 4)
+
+
+class TestStepBoard:
+    def test_block_is_still_life(self):
+        block = board_from(["....", ".##.", ".##.", "...."])
+        assert np.array_equal(step_board(block), block)
+
+    def test_blinker_oscillates(self):
+        horizontal = board_from([".....", ".....", ".###.", ".....", "....."])
+        vertical = board_from([".....", "..#..", "..#..", "..#..", "....."])
+        assert np.array_equal(step_board(horizontal), vertical)
+        assert np.array_equal(step_board(vertical), horizontal)
+
+    def test_empty_board_stays_empty(self):
+        empty = np.zeros((5, 5), dtype=bool)
+        assert not step_board(empty).any()
+
+    def test_lonely_cell_dies(self):
+        board = np.zeros((3, 3), dtype=bool)
+        board[1, 1] = True
+        assert not step_board(board).any()
+
+    def test_glider_translates(self):
+        glider = board_from(
+            [".#....", "..#...", "###...", "......", "......", "......"]
+        )
+        result = glider.copy()
+        for _ in range(4):
+            result = step_board(result)
+        # After 4 generations a glider moves one cell diagonally.
+        expected = np.zeros_like(glider)
+        expected[1:4, 1:4] = glider[0:3, 0:3]
+        assert np.array_equal(result, expected)
+
+
+class TestNeighborCounts:
+    def test_interior_count(self):
+        board = board_from(["###", "#.#", "###"])
+        assert neighbor_counts(board)[1, 1] == 8
+
+    def test_corner_has_three_neighbors_max(self):
+        board = np.ones((3, 3), dtype=bool)
+        assert neighbor_counts(board)[0, 0] == 3
+
+    def test_no_wraparound(self):
+        board = board_from(["#..", "...", "..#"])
+        counts = neighbor_counts(board)
+        assert counts[0, 2] == 0  # opposite corner is not adjacent
+
+    def test_neighbor_states_interior(self):
+        board = np.ones((3, 3), dtype=bool)
+        states = neighbor_states(board, 1, 1)
+        assert len(states) == 8 and states.sum() == 8
+
+    def test_neighbor_states_corner(self):
+        board = np.ones((3, 3), dtype=bool)
+        assert len(neighbor_states(board, 0, 0)) == 3
+
+    def test_neighbor_states_edge(self):
+        board = np.ones((4, 4), dtype=bool)
+        assert len(neighbor_states(board, 0, 1)) == 5
+
+
+class TestRandomBoard:
+    def test_density(self):
+        board = random_board(100, 100, density=0.3, rng=default_rng(0))
+        assert board.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_shape(self):
+        assert random_board(7, 9, rng=default_rng(1)).shape == (7, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_board(0, 5)
+        with pytest.raises(ValueError):
+            random_board(5, 5, density=1.5)
+
+    def test_seeded_determinism(self):
+        a = random_board(10, 10, rng=default_rng(2))
+        b = random_board(10, 10, rng=default_rng(2))
+        assert np.array_equal(a, b)

@@ -1,0 +1,84 @@
+"""Tests for the Figure 14 evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.life.engine import random_board
+from repro.life.evaluation import evaluate_variant, evaluate_variants, run_generation
+from repro.life.variants import BayesLife, NaiveLife, SensorLife
+from repro.rng import default_rng
+
+
+class TestRunGeneration:
+    def test_zero_noise_makes_no_errors(self):
+        board = random_board(8, 8, rng=default_rng(0))
+        from repro.core.conditionals import evaluation_config
+
+        with evaluation_config(rng=default_rng(1)):
+            wrong, updates, sensors, joints = run_generation(
+                board, NaiveLife(0.0), default_rng(2)
+            )
+        assert wrong == 0
+        assert updates == 64
+        assert joints == 64  # one per cell for NaiveLife
+
+    def test_sensor_sample_accounting(self):
+        board = random_board(5, 5, rng=default_rng(3))
+        from repro.core.conditionals import evaluation_config
+
+        with evaluation_config(rng=default_rng(4), max_samples=200):
+            _, updates, sensors, joints = run_generation(
+                board, SensorLife(0.1), default_rng(5)
+            )
+        assert updates == 25
+        assert joints >= updates  # at least one batch per decided cell
+        assert sensors > joints  # multiple sensors per joint sample
+
+
+class TestEvaluateVariant:
+    def test_point_fields(self):
+        point = evaluate_variant(
+            NaiveLife(0.2), 0.2, rows=6, cols=6, generations=2, runs=2,
+            rng=default_rng(6),
+        )
+        assert point.variant == "NaiveLife"
+        assert point.sigma == 0.2
+        assert 0.0 <= point.error_rate <= 1.0
+        assert point.updates == 6 * 6 * 2 * 2
+        assert point.joint_samples_per_update == 1.0
+
+    def test_ci_zero_for_single_run(self):
+        point = evaluate_variant(
+            NaiveLife(0.1), 0.1, rows=5, cols=5, generations=2, runs=1,
+            rng=default_rng(7),
+        )
+        assert point.error_ci95 == 0.0
+
+
+class TestEvaluateVariants:
+    def test_figure14_orderings_hold_on_small_protocol(self):
+        points = evaluate_variants(
+            sigmas=[0.1, 0.3],
+            rng=default_rng(8),
+            rows=8, cols=8, generations=3, runs=2, max_samples=200,
+        )
+        by = {(p.variant, p.sigma): p for p in points}
+        for sigma in (0.1, 0.3):
+            assert by[("SensorLife", sigma)].error_rate < by[
+                ("NaiveLife", sigma)
+            ].error_rate
+            assert by[("BayesLife", sigma)].error_rate <= by[
+                ("SensorLife", sigma)
+            ].error_rate
+            assert by[("BayesLife", sigma)].joint_samples_per_update < by[
+                ("SensorLife", sigma)
+            ].joint_samples_per_update
+
+    def test_custom_variant_subset(self):
+        points = evaluate_variants(
+            sigmas=[0.2],
+            variant_factories=[NaiveLife],
+            rng=default_rng(9),
+            rows=5, cols=5, generations=2, runs=1,
+        )
+        assert [p.variant for p in points] == ["NaiveLife"]

@@ -1,0 +1,85 @@
+"""Tests for the noisy Game of Life sensors."""
+
+import numpy as np
+import pytest
+
+from repro.life.sensors import (
+    corrected_sensor_leaf,
+    corrected_sensor_sum,
+    noisy_sensor_readings,
+    sensor_leaf,
+    sensor_sum,
+)
+from repro.rng import default_rng
+from scipy.stats import norm
+
+
+class TestNoisyReadings:
+    def test_zero_noise_is_exact(self, rng):
+        states = np.array([1.0, 0.0, 1.0])
+        assert np.array_equal(noisy_sensor_readings(states, 0.0, rng), states)
+
+    def test_noise_statistics(self, fixed_rng):
+        states = np.zeros(50_000)
+        readings = noisy_sensor_readings(states, 0.3, fixed_rng)
+        assert readings.std() == pytest.approx(0.3, rel=0.02)
+        assert readings.mean() == pytest.approx(0.0, abs=0.01)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            noisy_sensor_readings(np.array([1.0]), -0.1, rng)
+
+
+class TestSensorSum:
+    def test_mean_is_true_count(self, fixed_rng):
+        states = np.array([1.0, 1.0, 0.0, 1.0, 0.0])
+        total = sensor_sum(states, 0.2)
+        assert total.expected_value(20_000, fixed_rng) == pytest.approx(3.0, abs=0.05)
+
+    def test_variance_adds_across_sensors(self, fixed_rng):
+        states = np.zeros(8)
+        total = sensor_sum(states, 0.25)
+        assert total.var(20_000, fixed_rng) == pytest.approx(8 * 0.0625, rel=0.1)
+
+    def test_network_has_one_leaf_per_sensor(self):
+        from repro.core.graph import leaf_nodes
+
+        total = sensor_sum(np.array([1.0, 0.0, 1.0]), 0.1)
+        assert len(leaf_nodes(total.node)) == 3
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_sum(np.array([]), 0.1)
+
+    def test_zero_noise_sum_exact(self, rng):
+        total = sensor_sum(np.array([1.0, 1.0, 1.0]), 0.0)
+        assert np.all(total.samples(50, rng) == 3.0)
+
+
+class TestCorrectedSensor:
+    def test_values_are_binary(self, rng):
+        leaf = corrected_sensor_leaf(1.0, 0.3)
+        samples = leaf.samples(500, rng)
+        assert set(np.unique(samples)) <= {0.0, 1.0}
+
+    def test_flip_probability_matches_gaussian_tail(self, fixed_rng):
+        sigma = 0.3
+        leaf = corrected_sensor_leaf(0.0, sigma)
+        flip_rate = leaf.samples(50_000, fixed_rng).mean()
+        expected = norm.sf(0.5 / sigma)  # Pr[N(0, sigma) > 0.5]
+        assert flip_rate == pytest.approx(expected, abs=0.01)
+
+    def test_low_noise_is_nearly_perfect(self, fixed_rng):
+        leaf = corrected_sensor_leaf(1.0, 0.05)
+        assert leaf.samples(10_000, fixed_rng).mean() == pytest.approx(1.0)
+
+    def test_corrected_sum_concentrates_on_integers(self, fixed_rng):
+        states = np.array([1.0, 1.0, 1.0, 0.0, 0.0])
+        total = corrected_sensor_sum(states, 0.1)
+        samples = total.samples(5_000, fixed_rng)
+        assert np.all(samples == np.round(samples))
+        assert np.mean(samples == 3.0) > 0.95
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            corrected_sensor_sum(np.array([]), 0.1)

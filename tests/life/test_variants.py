@@ -1,0 +1,129 @@
+"""Tests for the NaiveLife / SensorLife / BayesLife deciders."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditionals import evaluation_config
+from repro.life.engine import true_decision
+from repro.life.variants import BayesLife, NaiveLife, SensorLife
+from repro.rng import default_rng
+
+ALL_VARIANTS = [NaiveLife, SensorLife, BayesLife]
+
+
+def states_with(live: int, total: int = 8) -> np.ndarray:
+    return np.array([1.0] * live + [0.0] * (total - live))
+
+
+class TestZeroNoiseCorrectness:
+    """With sigma=0 every variant must implement the exact rules."""
+
+    @pytest.mark.parametrize("factory", ALL_VARIANTS)
+    @pytest.mark.parametrize("is_alive", [True, False])
+    @pytest.mark.parametrize("live", [0, 1, 2, 3, 4, 5, 8])
+    def test_matches_exact_rules(self, factory, is_alive, live):
+        variant = factory(0.0)
+        rng = default_rng(live)
+        with evaluation_config(rng=default_rng(live + 100)):
+            outcome = variant.decide(is_alive, states_with(live), rng)
+        assert outcome.will_be_alive == true_decision(is_alive, live)
+
+
+class TestNaiveLife:
+    def test_single_joint_sample(self, rng):
+        outcome = NaiveLife(0.1).decide(True, states_with(3), rng)
+        assert outcome.joint_samples == 1
+        assert outcome.sensor_samples == 8
+
+    def test_boundary_count_flips_randomly(self):
+        # A live cell with exactly 2 neighbours sits on the rule boundary:
+        # noise makes NaiveLife's decision a near coin flip regardless of
+        # sigma (the paper's flat ~8% error).
+        wrong = 0
+        for seed in range(300):
+            outcome = NaiveLife(0.2).decide(
+                True, states_with(2), default_rng(seed)
+            )
+            wrong += outcome.will_be_alive != true_decision(True, 2)
+        assert 0.3 < wrong / 300 < 0.7
+
+    def test_interior_counts_robust_at_low_noise(self):
+        wrong = 0
+        for seed in range(200):
+            outcome = NaiveLife(0.05).decide(
+                False, states_with(0), default_rng(seed)
+            )
+            wrong += outcome.will_be_alive  # births from nothing are errors
+        assert wrong == 0
+
+
+class TestSensorLife:
+    def test_boundary_ternary_keeps_current_state(self):
+        # Live cell with 2 neighbours: Pr[NumLive < 2] = 0.5 exactly, the
+        # SPRT is inconclusive, and the cascade keeps the cell alive, which
+        # happens to be the correct rule outcome.
+        variant = SensorLife(0.3)
+        with evaluation_config(rng=default_rng(0), max_samples=400):
+            outcome = variant.decide(True, states_with(2), default_rng(1))
+        assert outcome.will_be_alive is True
+
+    def test_records_joint_and_sensor_samples(self):
+        variant = SensorLife(0.2)
+        with evaluation_config(rng=default_rng(2), max_samples=300):
+            outcome = variant.decide(True, states_with(5), default_rng(3))
+        assert outcome.joint_samples >= 10
+        assert outcome.sensor_samples == outcome.joint_samples * 8
+
+    def test_more_accurate_than_naive_under_noise(self):
+        sigma = 0.25
+        naive_wrong = 0
+        sensor_wrong = 0
+        cases = [(True, 3), (False, 3), (True, 4), (False, 2), (True, 1)]
+        for seed in range(40):
+            for is_alive, live in cases:
+                truth = true_decision(is_alive, live)
+                n = NaiveLife(sigma).decide(is_alive, states_with(live), default_rng(seed))
+                naive_wrong += n.will_be_alive != truth
+                with evaluation_config(rng=default_rng(seed + 1000), max_samples=300):
+                    s = SensorLife(sigma).decide(
+                        is_alive, states_with(live), default_rng(seed)
+                    )
+                sensor_wrong += s.will_be_alive != truth
+        assert sensor_wrong < naive_wrong
+
+
+class TestBayesLife:
+    def test_perfect_at_moderate_noise(self):
+        sigma = 0.2
+        wrong = 0
+        cases = [(True, 1), (True, 2), (True, 3), (True, 4), (False, 3), (False, 2)]
+        for seed in range(25):
+            for is_alive, live in cases:
+                with evaluation_config(rng=default_rng(seed + 2000), max_samples=300):
+                    outcome = BayesLife(sigma).decide(
+                        is_alive, states_with(live), default_rng(seed)
+                    )
+                wrong += outcome.will_be_alive != true_decision(is_alive, live)
+        assert wrong == 0
+
+    def test_cheaper_than_sensor_life(self):
+        sigma = 0.3
+        sensor_cost = 0
+        bayes_cost = 0
+        for seed in range(20):
+            with evaluation_config(rng=default_rng(seed), max_samples=300):
+                sensor_cost += SensorLife(sigma).decide(
+                    False, states_with(3), default_rng(seed)
+                ).joint_samples
+            with evaluation_config(rng=default_rng(seed), max_samples=300):
+                bayes_cost += BayesLife(sigma).decide(
+                    False, states_with(3), default_rng(seed)
+                ).joint_samples
+        assert bayes_cost < sensor_cost
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factory", ALL_VARIANTS)
+    def test_negative_sigma_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(-0.1)

@@ -1,0 +1,113 @@
+"""Tests for the approximate-hardware accelerator simulation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.accelerator import (
+    ApproximateAccelerator,
+    HardwareModel,
+    hardware_error_rate,
+)
+from repro.ml.images import make_dataset
+from repro.ml.parakeet import train_parrot
+from repro.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, t = make_dataset(600, rng=default_rng(0))
+    parrot = train_parrot(x, t, epochs=80, rng=default_rng(1))
+    x_eval, t_eval = make_dataset(100, rng=default_rng(2))
+    return parrot.mlp, x_eval, t_eval
+
+
+class TestHardwareModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareModel(weight_noise=-0.1)
+        with pytest.raises(ValueError):
+            HardwareModel(stuck_at_zero_fraction=1.0)
+
+
+class TestAccelerator:
+    def test_noiseless_hardware_matches_software(self, trained):
+        mlp, x_eval, _ = trained
+        acc = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.0, activation_noise=0.0),
+            rng=default_rng(3),
+        )
+        hw = acc.predict(x_eval[0]).sample(default_rng(4))
+        sw = float(mlp.forward(np.atleast_2d(x_eval[0]))[0])
+        assert hw == pytest.approx(sw, abs=1e-9)
+
+    def test_noise_creates_spread(self, trained):
+        mlp, x_eval, _ = trained
+        acc = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.05, activation_noise=0.02),
+            rng=default_rng(5),
+        )
+        u = acc.predict(x_eval[0])
+        assert u.sd(500, default_rng(6)) > 1e-4
+
+    def test_more_noise_more_spread(self, trained):
+        mlp, x_eval, _ = trained
+        quiet = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.01), rng=default_rng(7)
+        )
+        loud = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.1), rng=default_rng(8)
+        )
+        assert loud.predict(x_eval[1]).sd(500, default_rng(9)) > quiet.predict(
+            x_eval[1]
+        ).sd(500, default_rng(10))
+
+    def test_stuck_faults_are_deterministic_per_chip(self, trained):
+        mlp, x_eval, _ = trained
+        acc = ApproximateAccelerator(
+            mlp,
+            HardwareModel(weight_noise=0.0, activation_noise=0.0,
+                          stuck_at_zero_fraction=0.2),
+            rng=default_rng(11),
+        )
+        a = acc.predict(x_eval[0]).sample(default_rng(12))
+        b = acc.predict(x_eval[0]).sample(default_rng(13))
+        assert a == pytest.approx(b)  # same chip, same faults, no noise
+
+    def test_mean_tracks_software_output(self, trained):
+        mlp, x_eval, _ = trained
+        acc = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.03), rng=default_rng(14)
+        )
+        hw_mean = acc.predict(x_eval[2]).expected_value(2_000, default_rng(15))
+        sw = float(mlp.forward(np.atleast_2d(x_eval[2]))[0])
+        assert hw_mean == pytest.approx(sw, abs=0.05)
+
+
+class TestHardwareErrorRate:
+    def test_evidence_flow_no_worse_than_naive(self, trained):
+        mlp, x_eval, t_eval = trained
+        acc = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.08, activation_noise=0.05),
+            rng=default_rng(16),
+        )
+        naive = hardware_error_rate(
+            acc, x_eval, t_eval, evidence=None, rng=default_rng(17)
+        )
+        uncertain = hardware_error_rate(
+            acc, x_eval, t_eval, evidence=0.5, samples_per_input=100,
+            rng=default_rng(18),
+        )
+        assert uncertain <= naive + 0.02
+
+    def test_zero_noise_rates_equal(self, trained):
+        mlp, x_eval, t_eval = trained
+        acc = ApproximateAccelerator(
+            mlp, HardwareModel(weight_noise=0.0, activation_noise=0.0),
+            rng=default_rng(19),
+        )
+        naive = hardware_error_rate(acc, x_eval, t_eval, rng=default_rng(20))
+        uncertain = hardware_error_rate(
+            acc, x_eval, t_eval, evidence=0.5, samples_per_input=50,
+            rng=default_rng(21),
+        )
+        assert naive == uncertain  # deterministic hardware: flows agree

@@ -1,0 +1,83 @@
+"""Tests for the Hamiltonian Monte Carlo sampler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hmc import HMCConfig, hmc_sample
+from repro.ml.mlp import MLP
+from repro.rng import default_rng
+
+
+def tiny_problem(seed=0, n=40):
+    rng = default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    t = 0.5 * x[:, 0] - 0.25 * x[:, 1]
+    mlp = MLP((2, 3, 1), rng=default_rng(seed + 1))
+    mlp.train_sgd(x, t, epochs=60, rng=default_rng(seed + 2))
+    return mlp, x, t
+
+
+class TestHMCConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMCConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            HMCConfig(step_size=0.0)
+        with pytest.raises(ValueError):
+            HMCConfig(noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            HMCConfig(leapfrog_steps=0)
+
+
+class TestHMCSampling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        mlp, x, t = tiny_problem()
+        config = HMCConfig(
+            n_samples=20, thin=3, burn_in=80, leapfrog_steps=10, step_size=1e-2
+        )
+        return hmc_sample(mlp, x, t, config=config, rng=default_rng(5)), mlp, x, t
+
+    def test_sample_count_and_shape(self, result):
+        res, mlp, _, _ = result
+        assert res.samples.shape == (20, mlp.n_params)
+
+    def test_acceptance_rate_reasonable(self, result):
+        res, _, _, _ = result
+        assert 0.2 <= res.acceptance_rate <= 1.0
+
+    def test_samples_vary(self, result):
+        res, _, _, _ = result
+        assert np.std(res.samples, axis=0).max() > 1e-4
+
+    def test_samples_fit_the_data(self, result):
+        res, mlp, x, t = result
+        # Every posterior network should still predict the data decently.
+        for w in res.samples[:5]:
+            assert mlp.rmse(x, t, w) < 0.5
+
+    def test_trace_recorded(self, result):
+        res, _, _, _ = result
+        assert len(res.potential_trace) == 80 + 20 * 3
+
+    def test_step_size_adapted(self, result):
+        res, _, _, _ = result
+        assert res.final_step_size > 0
+        assert res.final_step_size != 1e-2  # adaptation moved it
+
+    def test_wilder_prior_spreads_samples(self):
+        mlp, x, t = tiny_problem(seed=7)
+        tight = hmc_sample(
+            mlp, x, t,
+            config=HMCConfig(n_samples=15, thin=3, burn_in=60, noise_sigma=0.02),
+            rng=default_rng(8),
+        )
+        loose = hmc_sample(
+            mlp, x, t,
+            config=HMCConfig(n_samples=15, thin=3, burn_in=60, noise_sigma=0.5),
+            rng=default_rng(8),
+        )
+        assert (
+            np.std(loose.samples, axis=0).mean()
+            > np.std(tight.samples, axis=0).mean()
+        )

@@ -1,0 +1,103 @@
+"""Tests for the Gaussian (Laplace) PPD approximation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.images import make_dataset
+from repro.ml.laplace import (
+    laplace_parakeet,
+    laplace_weight_posterior,
+    output_jacobian,
+    train_laplace_parakeet,
+)
+from repro.ml.mlp import MLP
+from repro.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    x, t = make_dataset(400, rng=default_rng(0))
+    return x, t
+
+
+class TestOutputJacobian:
+    def test_matches_finite_differences(self):
+        mlp = MLP((3, 4, 1), rng=default_rng(1))
+        x = default_rng(2).normal(size=(5, 3))
+        jac = output_jacobian(mlp, x)
+        assert jac.shape == (5, mlp.n_params)
+        eps = 1e-6
+        for idx in range(0, mlp.n_params, 5):
+            w_plus = mlp.weights.copy()
+            w_plus[idx] += eps
+            w_minus = mlp.weights.copy()
+            w_minus[idx] -= eps
+            numeric = (mlp.forward(x, w_plus) - mlp.forward(x, w_minus)) / (2 * eps)
+            assert np.allclose(jac[:, idx], numeric, rtol=1e-4, atol=1e-7)
+
+    def test_single_output_required(self):
+        mlp = MLP((3, 4, 2), rng=default_rng(3))
+        with pytest.raises(ValueError):
+            output_jacobian(mlp, np.zeros((2, 3)))
+
+
+class TestLaplacePosterior:
+    def test_shapes_and_positivity(self, small_task):
+        x, t = small_task
+        mlp = MLP((9, 8, 1), rng=default_rng(4))
+        mlp.train_sgd(x, t, epochs=30, rng=default_rng(5))
+        mean, var = laplace_weight_posterior(mlp, x, t)
+        assert mean.shape == var.shape == (mlp.n_params,)
+        assert np.all(var > 0)
+
+    def test_more_data_tightens_posterior(self, small_task):
+        x, t = small_task
+        mlp = MLP((9, 8, 1), rng=default_rng(6))
+        mlp.train_sgd(x, t, epochs=30, rng=default_rng(7))
+        _, var_small = laplace_weight_posterior(mlp, x[:50], t[:50])
+        _, var_large = laplace_weight_posterior(mlp, x, t)
+        assert var_large.mean() < var_small.mean()
+
+    def test_validation(self, small_task):
+        x, t = small_task
+        mlp = MLP((9, 8, 1), rng=default_rng(8))
+        with pytest.raises(ValueError):
+            laplace_weight_posterior(mlp, x, t, noise_sigma=0.0)
+
+
+class TestLaplaceParakeet:
+    def test_pool_and_predictions(self, small_task):
+        x, t = small_task
+        parakeet = train_laplace_parakeet(
+            x, t, epochs=60, pool_size=15, rng=default_rng(9)
+        )
+        assert parakeet.weight_pool.shape[0] == 15
+        ppd = parakeet.predict(x[0])
+        assert ppd.sd(2_000, default_rng(10)) > 0.0
+
+    def test_ppd_tracks_truth(self, small_task):
+        x, t = small_task
+        parakeet = train_laplace_parakeet(
+            x, t, epochs=100, pool_size=20, rng=default_rng(11)
+        )
+        errors = [
+            abs(parakeet.predict(x[i]).expected_value(1_000, default_rng(i)) - t[i])
+            for i in range(8)
+        ]
+        assert np.mean(errors) < 0.15
+
+    def test_pool_size_validation(self, small_task):
+        x, t = small_task
+        mlp = MLP((9, 8, 1), rng=default_rng(12))
+        with pytest.raises(ValueError):
+            laplace_parakeet(mlp, x, t, pool_size=0)
+
+    def test_precision_recall_sweep_compatible(self, small_task):
+        from repro.ml.evaluation import precision_recall_sweep
+
+        x, t = small_task
+        parakeet = train_laplace_parakeet(
+            x, t, epochs=60, pool_size=15, rng=default_rng(13)
+        )
+        sweep = precision_recall_sweep(parakeet, x[:100], t[:100], alphas=(0.2, 0.8))
+        assert sweep[0].recall >= sweep[1].recall - 0.05

@@ -1,0 +1,126 @@
+"""Tests for the MLP, including gradient checks against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLP
+from repro.rng import default_rng
+
+
+class TestConstruction:
+    def test_param_count(self):
+        mlp = MLP((9, 8, 1), rng=default_rng(0))
+        assert mlp.n_params == 9 * 8 + 8 + 8 * 1 + 1
+
+    def test_unpack_shapes(self):
+        mlp = MLP((4, 3, 2), rng=default_rng(1))
+        layers = mlp.unpack()
+        assert layers[0][0].shape == (4, 3)
+        assert layers[0][1].shape == (3,)
+        assert layers[1][0].shape == (3, 2)
+
+    def test_unpack_roundtrip(self):
+        mlp = MLP((3, 2, 1), rng=default_rng(2))
+        layers = mlp.unpack()
+        rebuilt = np.concatenate(
+            [np.concatenate([w.ravel(), b]) for w, b in layers]
+        )
+        assert np.array_equal(rebuilt, mlp.weights)
+
+    def test_unpack_validates_length(self):
+        mlp = MLP((3, 2), rng=default_rng(3))
+        with pytest.raises(ValueError):
+            mlp.unpack(np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP((5,))
+        with pytest.raises(ValueError):
+            MLP((5, 0, 1))
+
+
+class TestForward:
+    def test_output_shape_single_unit(self):
+        mlp = MLP((4, 3, 1), rng=default_rng(4))
+        assert mlp.forward(np.zeros((7, 4))).shape == (7,)
+
+    def test_output_shape_multi_unit(self):
+        mlp = MLP((4, 3, 2), rng=default_rng(5))
+        assert mlp.forward(np.zeros((7, 4))).shape == (7, 2)
+
+    def test_alternate_weights(self):
+        mlp = MLP((2, 2, 1), rng=default_rng(6))
+        x = np.array([[1.0, -1.0]])
+        default_out = mlp.forward(x)
+        other_out = mlp.forward(x, np.zeros(mlp.n_params))
+        assert not np.allclose(default_out, other_out)
+        assert np.allclose(other_out, 0.0)  # all-zero weights -> zero output
+
+    def test_deterministic(self):
+        mlp = MLP((3, 4, 1), rng=default_rng(7))
+        x = default_rng(8).normal(size=(5, 3))
+        assert np.array_equal(mlp.forward(x), mlp.forward(x))
+
+
+class TestBackprop:
+    def test_gradient_matches_finite_differences(self):
+        mlp = MLP((3, 4, 1), rng=default_rng(9))
+        rng = default_rng(10)
+        x = rng.normal(size=(6, 3))
+        t = rng.normal(size=6)
+        _, grad = mlp.forward_backward(x, t)
+        eps = 1e-6
+        for idx in range(0, mlp.n_params, 7):
+            w_plus = mlp.weights.copy()
+            w_plus[idx] += eps
+            w_minus = mlp.weights.copy()
+            w_minus[idx] -= eps
+            loss_plus, _ = mlp.forward_backward(x, t, w_plus)
+            loss_minus, _ = mlp.forward_backward(x, t, w_minus)
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_gradient_deep_network(self):
+        mlp = MLP((2, 5, 5, 1), rng=default_rng(11))
+        rng = default_rng(12)
+        x = rng.normal(size=(4, 2))
+        t = rng.normal(size=4)
+        _, grad = mlp.forward_backward(x, t)
+        eps = 1e-6
+        for idx in (0, mlp.n_params // 2, mlp.n_params - 1):
+            w = mlp.weights.copy()
+            w[idx] += eps
+            lp, _ = mlp.forward_backward(x, t, w)
+            w[idx] -= 2 * eps
+            lm, _ = mlp.forward_backward(x, t, w)
+            assert grad[idx] == pytest.approx((lp - lm) / (2 * eps), rel=1e-3, abs=1e-6)
+
+    def test_loss_is_half_sse(self):
+        mlp = MLP((2, 1), rng=default_rng(13))
+        x = np.array([[0.0, 0.0]])
+        t = np.array([2.0])
+        loss, _ = mlp.forward_backward(x, t, np.zeros(mlp.n_params))
+        assert loss == pytest.approx(0.5 * 4.0)
+
+
+class TestTraining:
+    def test_sgd_reduces_loss(self):
+        rng = default_rng(14)
+        x = rng.normal(size=(200, 2))
+        t = 0.3 * x[:, 0] - 0.7 * x[:, 1]
+        mlp = MLP((2, 6, 1), rng=default_rng(15))
+        history = mlp.train_sgd(x, t, epochs=50, rng=default_rng(16))
+        assert history[-1] < 0.2 * history[0]
+
+    def test_rmse_after_training(self):
+        rng = default_rng(17)
+        x = rng.normal(size=(500, 2))
+        t = np.tanh(x[:, 0])
+        mlp = MLP((2, 8, 1), rng=default_rng(18))
+        mlp.train_sgd(x, t, epochs=100, rng=default_rng(19))
+        assert mlp.rmse(x, t) < 0.1
+
+    def test_validation(self):
+        mlp = MLP((2, 1), rng=default_rng(20))
+        with pytest.raises(ValueError):
+            mlp.train_sgd(np.zeros((2, 2)), np.zeros(2), epochs=0)

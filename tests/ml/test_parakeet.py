@@ -1,0 +1,141 @@
+"""Tests for the Parrot and Parakeet predictors and the PR evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertain import Uncertain
+from repro.ml.evaluation import (
+    EDGE_THRESHOLD,
+    PrecisionRecallPoint,
+    _precision_recall,
+    parrot_point,
+    precision_recall_sweep,
+)
+from repro.ml.hmc import HMCConfig
+from repro.ml.images import make_dataset
+from repro.ml.mlp import MLP
+from repro.ml.parakeet import Parakeet, Parrot, train_parakeet, train_parrot
+from repro.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    x_train, t_train = make_dataset(600, rng=default_rng(0))
+    x_eval, t_eval = make_dataset(150, rng=default_rng(1))
+    return x_train, t_train, x_eval, t_eval
+
+
+@pytest.fixture(scope="module")
+def parrot(small_task):
+    x_train, t_train, _, _ = small_task
+    return train_parrot(x_train, t_train, epochs=80, rng=default_rng(2))
+
+
+@pytest.fixture(scope="module")
+def parakeet(small_task):
+    x_train, t_train, _, _ = small_task
+    config = HMCConfig(n_samples=12, thin=3, burn_in=60, leapfrog_steps=10)
+    return train_parakeet(
+        x_train, t_train, pretrain_epochs=80, hmc_config=config, rng=default_rng(3)
+    )
+
+
+class TestParrot:
+    def test_predict_is_float(self, parrot, small_task):
+        _, _, x_eval, _ = small_task
+        assert isinstance(parrot.predict(x_eval[0]), float)
+
+    def test_reasonable_rmse(self, parrot, small_task):
+        _, _, x_eval, t_eval = small_task
+        assert parrot.mlp.rmse(x_eval, t_eval) < 0.12
+
+    def test_batch_matches_single(self, parrot, small_task):
+        _, _, x_eval, _ = small_task
+        batch = parrot.predict_batch(x_eval[:5])
+        singles = [parrot.predict(w) for w in x_eval[:5]]
+        assert np.allclose(batch, singles)
+
+
+class TestParakeet:
+    def test_predict_returns_uncertain(self, parakeet, small_task):
+        _, _, x_eval, _ = small_task
+        assert isinstance(parakeet.predict(x_eval[0]), Uncertain)
+
+    def test_ppd_pool_shape(self, parakeet, small_task):
+        _, _, x_eval, _ = small_task
+        assert parakeet.ppd_values(x_eval[0]).shape == (12,)
+
+    def test_ppd_matrix_shape(self, parakeet, small_task):
+        _, _, x_eval, _ = small_task
+        assert parakeet.ppd_matrix(x_eval[:9]).shape == (9, 12)
+
+    def test_ppd_includes_noise_spread(self, parakeet, small_task):
+        _, _, x_eval, _ = small_task
+        ppd = parakeet.predict(x_eval[0])
+        assert ppd.sd(5_000, default_rng(4)) >= parakeet.noise_sigma * 0.8
+
+    def test_ppd_mean_near_truth(self, parakeet, small_task):
+        _, _, x_eval, t_eval = small_task
+        errors = []
+        for i in range(10):
+            ppd = parakeet.predict(x_eval[i])
+            errors.append(abs(ppd.expected_value(2_000, default_rng(i)) - t_eval[i]))
+        assert np.mean(errors) < 0.15
+
+    def test_edge_conditional_usable(self, parakeet, small_task):
+        _, _, x_eval, t_eval = small_task
+        idx = int(np.argmax(t_eval))  # strongest edge
+        ppd = parakeet.predict(x_eval[idx])
+        from repro.core.conditionals import evaluation_config
+
+        with evaluation_config(rng=default_rng(5)):
+            assert (ppd > EDGE_THRESHOLD).pr(0.5)
+
+    def test_empty_pool_rejected(self):
+        mlp = MLP((9, 8, 1), rng=default_rng(6))
+        with pytest.raises(ValueError):
+            Parakeet(mlp, np.empty((0, mlp.n_params)))
+
+    def test_negative_noise_rejected(self):
+        mlp = MLP((9, 8, 1), rng=default_rng(7))
+        with pytest.raises(ValueError):
+            Parakeet(mlp, np.zeros((3, mlp.n_params)), noise_sigma=-0.1)
+
+
+class TestPrecisionRecall:
+    def test_arithmetic(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        point = _precision_recall("x", None, predicted, actual)
+        assert point.precision == 0.5
+        assert point.recall == 0.5
+        assert point.true_positives == 1
+        assert point.false_positives == 1
+        assert point.false_negatives == 1
+
+    def test_degenerate_no_predictions(self):
+        predicted = np.zeros(4, dtype=bool)
+        actual = np.zeros(4, dtype=bool)
+        point = _precision_recall("x", None, predicted, actual)
+        assert point.precision == 1.0 and point.recall == 1.0
+
+    def test_parrot_point(self, parrot, small_task):
+        _, _, x_eval, t_eval = small_task
+        point = parrot_point(parrot, x_eval, t_eval)
+        assert isinstance(point, PrecisionRecallPoint)
+        assert 0.0 <= point.precision <= 1.0
+
+    def test_sweep_tradeoff_directions(self, parakeet, small_task):
+        _, _, x_eval, t_eval = small_task
+        sweep = precision_recall_sweep(
+            parakeet, x_eval, t_eval, alphas=(0.1, 0.5, 0.9)
+        )
+        precisions = [p.precision for p in sweep]
+        recalls = [p.recall for p in sweep]
+        assert precisions[0] <= precisions[-1] + 0.05
+        assert recalls[0] >= recalls[-1] - 0.05
+
+    def test_sweep_labels(self, parakeet, small_task):
+        _, _, x_eval, t_eval = small_task
+        sweep = precision_recall_sweep(parakeet, x_eval, t_eval, alphas=(0.3,))
+        assert sweep[0].alpha == 0.3

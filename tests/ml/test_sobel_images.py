@@ -1,0 +1,98 @@
+"""Tests for the Sobel operator and the synthetic image corpus."""
+
+import numpy as np
+import pytest
+
+from repro.ml.images import make_dataset, synthetic_image
+from repro.ml.sobel import extract_windows, sobel_magnitude, sobel_map
+from repro.rng import default_rng
+
+
+class TestSobelMagnitude:
+    def test_flat_window_has_zero_gradient(self):
+        assert sobel_magnitude(np.full((3, 3), 0.7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_vertical_edge(self):
+        window = np.array([[0, 0, 1], [0, 0, 1], [0, 0, 1]], dtype=float)
+        # gx = 4, gy = 0 -> magnitude 4 / (4 sqrt 2) = 1/sqrt2.
+        assert sobel_magnitude(window) == pytest.approx(1 / np.sqrt(2))
+
+    def test_horizontal_edge_symmetry(self):
+        v = np.array([[0, 0, 1], [0, 0, 1], [0, 0, 1]], dtype=float)
+        h = v.T
+        assert sobel_magnitude(v) == pytest.approx(sobel_magnitude(h))
+
+    def test_normalisation_bound(self, rng):
+        windows = rng.random((500, 3, 3))
+        mags = sobel_magnitude(windows)
+        assert np.all(mags >= 0.0) and np.all(mags <= 1.0)
+
+    def test_batch_flat_input(self):
+        flat = np.zeros((5, 9))
+        assert np.all(sobel_magnitude(flat) == 0.0)
+
+    def test_rotation_invariance_of_diagonal(self):
+        window = np.array([[1, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float)
+        rotated = np.rot90(window).copy()
+        assert sobel_magnitude(window) == pytest.approx(sobel_magnitude(rotated))
+
+
+class TestSobelMap:
+    def test_shape(self):
+        image = np.zeros((10, 12))
+        assert sobel_map(image).shape == (8, 10)
+
+    def test_detects_edge_location(self):
+        image = np.zeros((9, 9))
+        image[:, 5:] = 1.0
+        smap = sobel_map(image)
+        # The interior columns adjacent to the step carry the gradient.
+        assert smap[:, 3].max() > 0.3
+        assert np.all(smap[:, 0] == 0.0)
+
+    def test_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            sobel_map(np.zeros((2, 5)))
+
+    def test_extract_windows_count(self):
+        image = np.zeros((5, 6))
+        assert extract_windows(image).shape == (3 * 4, 9)
+
+
+class TestSyntheticImage:
+    def test_range(self):
+        image = synthetic_image(32, rng=default_rng(0))
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_contains_edges(self):
+        image = synthetic_image(48, rng=default_rng(1))
+        assert sobel_map(image).max() > 0.2
+
+    def test_deterministic(self):
+        a = synthetic_image(24, rng=default_rng(2))
+        b = synthetic_image(24, rng=default_rng(2))
+        assert np.array_equal(a, b)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_image(4)
+
+
+class TestMakeDataset:
+    def test_shapes(self):
+        x, t = make_dataset(200, rng=default_rng(3))
+        assert x.shape == (200, 9)
+        assert t.shape == (200,)
+
+    def test_targets_are_sobel_of_inputs(self):
+        x, t = make_dataset(50, rng=default_rng(4))
+        recomputed = sobel_magnitude(x.reshape(-1, 3, 3))
+        assert np.allclose(t, recomputed)
+
+    def test_mix_of_edges_and_flats(self):
+        _, t = make_dataset(2_000, rng=default_rng(5))
+        assert 0.05 < np.mean(t > 0.1) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset(0)

@@ -1,0 +1,44 @@
+"""Tests for the Figure 17 alarm comparison."""
+
+import pytest
+
+from repro.ppl.alarm import (
+    alarm_model,
+    exact_alarm_probability,
+    exact_phone_working_posterior,
+    run_alarm_comparison,
+)
+from repro.ppl.language import rejection_query
+from repro.rng import default_rng
+
+
+class TestExactValues:
+    def test_alarm_probability_is_011_percent(self):
+        assert exact_alarm_probability() == pytest.approx(0.0011, abs=1e-5)
+
+    def test_phone_working_posterior(self):
+        # Hand-derived: (1e-4*0.7 + (1-1e-4)*1e-3*0.99) / Pr[alarm].
+        assert exact_phone_working_posterior() == pytest.approx(0.9636, abs=0.001)
+
+
+class TestAlarmModel:
+    def test_rejection_matches_exact(self):
+        result = rejection_query(alarm_model, 300, rng=default_rng(0))
+        assert result.estimate() == pytest.approx(
+            exact_phone_working_posterior(), abs=0.05
+        )
+
+    def test_acceptance_rate_matches_alarm_probability(self):
+        result = rejection_query(alarm_model, 100, rng=default_rng(1))
+        assert result.acceptance_rate == pytest.approx(0.0011, rel=0.6)
+
+
+class TestComparison:
+    def test_comparison_shape_claims(self):
+        cmp = run_alarm_comparison(30, rng=default_rng(2))
+        assert cmp.uncertain_decision is True
+        assert cmp.uncertain_samples < 1_000
+        assert cmp.rejection.executions > 100 * len(cmp.rejection.samples)
+        assert cmp.rejection_estimate == pytest.approx(
+            cmp.exact_posterior, abs=0.15
+        )

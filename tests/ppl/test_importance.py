@@ -1,0 +1,88 @@
+"""Tests for likelihood weighting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ppl.importance import (
+    WeightedTrace,
+    alarm_model_weighted,
+    exact_noisy_alarm_posterior,
+    likelihood_weighting,
+)
+from repro.rng import default_rng
+
+
+class TestWeightedTrace:
+    def test_flip_forward_sampling(self):
+        rng = default_rng(0)
+        values = [WeightedTrace(rng).flip(0.7) for _ in range(2_000)]
+        assert np.mean(values) == pytest.approx(0.7, abs=0.03)
+
+    def test_flip_observed_weights(self):
+        trace = WeightedTrace(default_rng(1))
+        assert trace.flip_observed(0.25, True) is True
+        assert trace.log_weight == pytest.approx(math.log(0.25))
+        trace.flip_observed(0.25, False)
+        assert trace.log_weight == pytest.approx(math.log(0.25) + math.log(0.75))
+
+    def test_factor(self):
+        trace = WeightedTrace(default_rng(2))
+        trace.factor(-1.5)
+        assert trace.log_weight == -1.5
+
+    def test_validation(self):
+        trace = WeightedTrace(default_rng(3))
+        with pytest.raises(ValueError):
+            trace.flip(2.0)
+        with pytest.raises(ValueError):
+            trace.flip_observed(-0.1, True)
+
+
+class TestLikelihoodWeighting:
+    def test_simple_posterior(self):
+        # x ~ flip(0.5); observe a sensor that fires with p=0.9 if x else 0.1.
+        def model(trace: WeightedTrace) -> bool:
+            x = trace.flip(0.5)
+            trace.flip_observed(0.9 if x else 0.1, True)
+            return x
+
+        result = likelihood_weighting(model, 20_000, rng=default_rng(4))
+        assert result.estimate() == pytest.approx(0.9, abs=0.02)
+
+    def test_every_execution_counts(self):
+        result = likelihood_weighting(
+            alarm_model_weighted, 5_000, rng=default_rng(5)
+        )
+        assert result.executions == 5_000
+        assert len(result.samples) == 5_000
+
+    def test_alarm_posterior_matches_enumeration(self):
+        # The ESS is only ~0.1% of the executions (the evidence is rare),
+        # so the tolerance must respect the weighted estimator's variance.
+        result = likelihood_weighting(
+            alarm_model_weighted, 100_000, rng=default_rng(6)
+        )
+        assert result.estimate() == pytest.approx(
+            exact_noisy_alarm_posterior(), abs=0.05
+        )
+
+    def test_ess_reflects_rare_evidence(self):
+        result = likelihood_weighting(
+            alarm_model_weighted, 10_000, rng=default_rng(7)
+        )
+        # Almost all weight concentrates on the rare alarm-true executions.
+        assert result.effective_sample_size < 0.05 * result.executions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            likelihood_weighting(alarm_model_weighted, 0)
+
+
+class TestExactEnumeration:
+    def test_posterior_value_plausible(self):
+        # The noisy sensor admits false positives, which (unlike the hard
+        # observation) mix in no-alarm worlds where the phone is fine.
+        p = exact_noisy_alarm_posterior()
+        assert 0.96 < p < 1.0

@@ -1,0 +1,94 @@
+"""Tests for the mini generative PPL."""
+
+import numpy as np
+import pytest
+
+from repro.ppl.language import Observe, Trace, rejection_query
+from repro.rng import default_rng
+
+
+class TestTrace:
+    def test_flip_probability(self):
+        rng = default_rng(0)
+        values = [Trace(rng).flip(0.8) for _ in range(2_000)]
+        assert np.mean(values) == pytest.approx(0.8, abs=0.03)
+
+    def test_flip_validation(self):
+        with pytest.raises(ValueError):
+            Trace(default_rng(1)).flip(1.5)
+
+    def test_uniform_range(self):
+        rng = default_rng(2)
+        trace = Trace(rng)
+        v = trace.uniform(2.0, 3.0)
+        assert 2.0 <= v < 3.0
+
+    def test_gaussian(self):
+        rng = default_rng(3)
+        values = [Trace(rng).gaussian(5.0, 0.1) for _ in range(500)]
+        assert np.mean(values) == pytest.approx(5.0, abs=0.05)
+
+    def test_choices_recorded(self):
+        trace = Trace(default_rng(4))
+        trace.flip(0.5, "a")
+        trace.uniform(0, 1, "b")
+        assert [name for name, _ in trace.choices] == ["a", "b"]
+
+    def test_observe_true_passes(self):
+        Trace(default_rng(5)).observe(True)
+
+    def test_observe_false_raises(self):
+        with pytest.raises(Observe):
+            Trace(default_rng(6)).observe(False, "constraint")
+
+
+class TestRejectionQuery:
+    def test_unconditioned_model(self):
+        result = rejection_query(lambda t: t.flip(0.5), 500, rng=default_rng(7))
+        assert len(result.samples) == 500
+        assert result.executions == 500
+        assert result.acceptance_rate == 1.0
+
+    def test_conditioning_changes_distribution(self):
+        def model(t: Trace):
+            x = t.flip(0.5, "x")
+            y = t.flip(0.5, "y")
+            t.observe(x or y)
+            return x
+
+        result = rejection_query(model, 3_000, rng=default_rng(8))
+        # Pr[x | x or y] = 2/3.
+        assert result.estimate() == pytest.approx(2 / 3, abs=0.03)
+
+    def test_rare_evidence_costs_executions(self):
+        def model(t: Trace):
+            t.observe(t.flip(0.01))
+            return True
+
+        result = rejection_query(model, 20, rng=default_rng(9))
+        assert result.executions > 500
+
+    def test_max_executions_cap(self):
+        def impossible(t: Trace):
+            t.observe(False)
+            return True
+
+        result = rejection_query(
+            impossible, 10, max_executions=1_000, rng=default_rng(10)
+        )
+        assert result.samples == []
+        assert result.executions == 1_000
+        assert result.acceptance_rate == 0.0
+
+    def test_estimate_requires_samples(self):
+        def impossible(t: Trace):
+            t.observe(False)
+            return True
+
+        result = rejection_query(impossible, 5, max_executions=50, rng=default_rng(11))
+        with pytest.raises(ValueError):
+            result.estimate()
+
+    def test_n_samples_validation(self):
+        with pytest.raises(ValueError):
+            rejection_query(lambda t: True, 0)

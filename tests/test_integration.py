@@ -1,0 +1,114 @@
+"""Cross-module integration tests: full pipelines through the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Uncertain, lift, posterior
+from repro.core.conditionals import evaluation_config
+from repro.dists import Gaussian
+from repro.gps import GpsSensor, WalkConfig, generate_walk
+from repro.gps.priors import walking_speed_prior
+from repro.gps.walking import run_naive_walking, run_uncertain_walking
+from repro.rng import default_rng
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_style_quickstart(self):
+        # The README's quickstart must keep working.
+        speed = Uncertain(Gaussian(3.5, 1.0))
+        with evaluation_config(rng=default_rng(0)):
+            assert bool(speed > 2.0)
+            assert not (speed > 3.4).pr(0.9)
+        assert speed.expected_value(2_000, default_rng(1)) == pytest.approx(
+            3.5, abs=0.1
+        )
+
+
+class TestGpsPipeline:
+    def test_end_to_end_walk(self):
+        trace = generate_walk(WalkConfig(duration_s=30.0), rng=default_rng(2))
+
+        def sensor():
+            return GpsSensor(
+                4.0, rng=default_rng(3), correlation=0.9, glitch_probability=0.05,
+                glitch_scale_m=20.0,
+            )
+
+        naive = run_naive_walking(trace, sensor())
+        improved = run_uncertain_walking(
+            trace, sensor(), prior=walking_speed_prior(), rng=default_rng(4)
+        )
+        assert improved.speeds_mph.max() <= naive.speeds_mph.max() + 1.0
+        assert len(naive.decisions) == len(improved.decisions) == 30
+
+    def test_speed_network_composes_with_prior_and_conditional(self):
+        from repro.gps.geo import GeoCoordinate
+        from repro.gps.sensor import GpsFix
+        from repro.gps.walking import uncertain_speed_mph
+
+        origin = GeoCoordinate(47.64, -122.13)
+        f1 = GpsFix(origin, 4.0, 0.0)
+        f2 = GpsFix(origin.offset_m(2.0, 0.0), 4.0, 1.0)
+        speed = uncertain_speed_mph(f1, f2)
+        better = posterior(speed, walking_speed_prior(), rng=default_rng(5))
+        with evaluation_config(rng=default_rng(6)):
+            assert not (better > 10.0).pr(0.5)
+
+
+class TestLiftedGeometryPipeline:
+    def test_lifted_distance_between_uncertain_points(self):
+        import math
+
+        from repro.gps.geo import GeoCoordinate, enu_distance_m
+
+        origin = GeoCoordinate(47.0, -122.0)
+
+        def noisy_point(east, north, sigma):
+            def sample(rng):
+                return origin.offset_m(
+                    east + rng.normal(0, sigma), north + rng.normal(0, sigma)
+                )
+
+            return Uncertain(sample)
+
+        a = noisy_point(0.0, 0.0, 1.0)
+        b = noisy_point(30.0, 40.0, 1.0)
+        distance = lift(enu_distance_m)(a, b)
+        est = distance.expected_value(2_000, default_rng(7))
+        assert est == pytest.approx(50.0, rel=0.05)
+
+
+class TestLifePipeline:
+    def test_one_noisy_generation_against_truth(self):
+        from repro.life.engine import random_board
+        from repro.life.evaluation import run_generation
+        from repro.life.variants import BayesLife
+
+        board = random_board(8, 8, rng=default_rng(8))
+        with evaluation_config(rng=default_rng(9), max_samples=300):
+            wrong, updates, _, _ = run_generation(
+                board, BayesLife(0.1), default_rng(10)
+            )
+        assert updates == 64
+        assert wrong <= 1
+
+
+class TestChainedComputation:
+    def test_deep_pipeline_keeps_semantics(self):
+        # A long chain mixing arithmetic, lifting, priors and conditionals.
+        raw = Uncertain(Gaussian(10.0, 2.0))
+        calibrated = (raw - 1.0) * 1.1
+        smoothed = posterior(calibrated, Gaussian(9.0, 3.0), rng=default_rng(11))
+        ratio = smoothed / 3.0
+        with evaluation_config(rng=default_rng(12)):
+            assert bool(ratio > 2.0)
+            assert not (ratio > 5.0).pr(0.5)
+        assert 2.0 < ratio.expected_value(2_000, default_rng(13)) < 5.0
