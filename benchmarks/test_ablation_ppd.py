@@ -6,7 +6,6 @@ plug into the same Parakeet runtime here; the bench times the cheap
 pipeline and checks that both PPDs support the Figure 16 tradeoff.
 """
 
-import numpy as np
 
 from repro.ml.evaluation import precision_recall_sweep
 from repro.ml.hmc import HMCConfig

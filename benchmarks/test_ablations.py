@@ -7,11 +7,10 @@
 - SIR vs rejection posterior construction.
 """
 
-import numpy as np
 
 from repro.core.bayes import posterior
 from repro.core.expectation import expected_value, expected_value_adaptive
-from repro.core.sprt import GroupSequentialTest, SPRT, TestDecision
+from repro.core.sprt import GroupSequentialTest, SPRT
 from repro.core.uncertain import Uncertain
 from repro.dists import Gaussian, TruncatedGaussian
 from repro.rng import default_rng

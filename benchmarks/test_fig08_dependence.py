@@ -2,7 +2,6 @@
 ablation DESIGN.md calls out (node-identity memoisation vs naive
 resampling)."""
 
-import numpy as np
 
 from benchmarks.conftest import run_and_report
 from repro.core.uncertain import Uncertain

@@ -5,7 +5,6 @@ lazy graph construction (building expressions costs nanoseconds, sampling
 pays at conditionals) and vectorised batch sampling.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_and_report
 from repro.core.conditionals import evaluation_config

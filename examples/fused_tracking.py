@@ -10,7 +10,6 @@ Run with::
     python examples/fused_tracking.py
 """
 
-import numpy as np
 
 from repro.core.conditionals import evaluation_config
 from repro.gps.fusion import ParticleFilter, track_walk

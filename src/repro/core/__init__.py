@@ -4,8 +4,12 @@ This package implements Sections 3 and 4 of the paper:
 
 - :mod:`repro.core.graph` — the Bayesian-network representation that lifted
   operators construct (Figures 7 and 8).
-- :mod:`repro.core.sampling` — ancestral sampling over that network with
-  per-joint-sample memoisation (Section 4.2).
+- :mod:`repro.core.plan` — compilation of node DAGs into flat, reusable
+  evaluation plans, cached per root (Section 4.2's "much like a JIT").
+- :mod:`repro.core.engines` — pluggable execution engines running compiled
+  plans (vectorized numpy default, reference interpreter).
+- :mod:`repro.core.sampling` — ancestral-sampling facade over the
+  plan/engine layer with per-joint-sample memoisation (Section 4.2).
 - :mod:`repro.core.uncertain` — the ``Uncertain[T]`` type and its operator
   algebra (Table 1).
 - :mod:`repro.core.sprt` — Wald's sequential probability ratio test and the
@@ -27,7 +31,29 @@ from repro.core.graph import (
     PointMassNode,
     UnaryOpNode,
 )
-from repro.core.sampling import SampleContext, SamplingError, sample_batch, sample_once
+from repro.core.plan import (
+    EvaluationPlan,
+    PlanTelemetry,
+    clear_plan_cache,
+    compile_plan,
+    invalidate_plan,
+    plan_cache_size,
+)
+from repro.core.engines import (
+    ExecutionEngine,
+    InterpreterEngine,
+    NumpyEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.core.sampling import (
+    SampleContext,
+    SamplingError,
+    execute_plan,
+    sample_batch,
+    sample_once,
+)
 from repro.core.sprt import (
     FixedSampleTest,
     GroupSequentialTest,
@@ -53,8 +79,21 @@ __all__ = [
     "BinaryOpNode",
     "UnaryOpNode",
     "ApplyNode",
+    "EvaluationPlan",
+    "PlanTelemetry",
+    "compile_plan",
+    "invalidate_plan",
+    "clear_plan_cache",
+    "plan_cache_size",
+    "ExecutionEngine",
+    "NumpyEngine",
+    "InterpreterEngine",
+    "get_engine",
+    "register_engine",
+    "available_engines",
     "SampleContext",
     "SamplingError",
+    "execute_plan",
     "sample_batch",
     "sample_once",
     "HypothesisTest",

@@ -15,6 +15,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.plan import PlanTelemetry
 from repro.core.sprt import HypothesisTest, SPRT
 from repro.rng import default_rng
 
@@ -29,6 +30,12 @@ class EvaluationConfig:
     ``batch_size`` the paper's ``k``, ``max_samples`` the truncation bound,
     and ``expectation_samples`` the fixed sample size the ``E`` operator
     uses.
+
+    ``engine`` selects how compiled evaluation plans are executed (see
+    :mod:`repro.core.engines`; ``"numpy"`` is the vectorized default,
+    ``"interpreter"`` the per-batch graph walk).  ``plan_telemetry``, when
+    set to a :class:`~repro.core.plan.PlanTelemetry`, makes every engine
+    record nodes evaluated, batches executed, and wall time per node kind.
     """
 
     alpha: float = 0.05
@@ -40,6 +47,12 @@ class EvaluationConfig:
     rng: np.random.Generator = dataclasses.field(default_factory=default_rng)
     #: Optional override: a factory building the test for a given threshold.
     test_factory: "callable | None" = None
+    #: Execution engine for compiled plans: a registered name or an
+    #: :class:`~repro.core.engines.ExecutionEngine` instance.
+    engine: "str | object" = "numpy"
+    #: Telemetry sink for the plan/engine layer (``None`` = off, the fast
+    #: path).  Enable with :meth:`enable_plan_telemetry`.
+    plan_telemetry: PlanTelemetry | None = None
     #: Running count of Bernoulli samples drawn by conditionals (telemetry
     #: for Figure 14(b)); reset with ``reset_sample_counter``.
     samples_drawn: int = 0
@@ -66,6 +79,12 @@ class EvaluationConfig:
     def reset_sample_counter(self) -> None:
         self.samples_drawn = 0
         self.conditionals_evaluated = 0
+
+    def enable_plan_telemetry(self) -> PlanTelemetry:
+        """Install (or return the existing) plan/engine telemetry sink."""
+        if self.plan_telemetry is None:
+            self.plan_telemetry = PlanTelemetry()
+        return self.plan_telemetry
 
 
 _active_config = EvaluationConfig()

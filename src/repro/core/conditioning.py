@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.sampling import SampleContext
+from repro.core.sampling import execute_plan
 from repro.core.uncertain import Uncertain, UncertainBool
 from repro.dists.empirical import Empirical
 from repro.rng import ensure_rng
@@ -49,12 +49,17 @@ def condition(
     if pool_size <= 0 or batch_size <= 0 or max_batches <= 0:
         raise ValueError("pool_size, batch_size and max_batches must be positive")
     rng = ensure_rng(rng)
+    # Both plans compile once; each batch shares one memo table so the
+    # evidence sees the same joint assignment as the value.
+    value_plan, evidence_plan = value.plan, evidence.plan
     accepted: list[np.ndarray] = []
     total_accepted = 0
     for _ in range(max_batches):
-        ctx = SampleContext(batch_size, rng)
-        values = ctx.value_of(value.node)
-        holds = np.asarray(ctx.value_of(evidence.node), dtype=bool)
+        memo: dict = {}
+        values = execute_plan(value_plan, batch_size, rng, memo=memo)
+        holds = np.asarray(
+            execute_plan(evidence_plan, batch_size, rng, memo=memo), dtype=bool
+        )
         kept = values[holds]
         if len(kept):
             accepted.append(kept)

@@ -1,0 +1,266 @@
+"""Execution engines: strategies for running a compiled evaluation plan.
+
+A plan (:mod:`repro.core.plan`) is the *what*; an engine is the *how*.
+Separating them creates the seam the ROADMAP asks for: today a vectorized
+numpy engine and a reference interpreter, tomorrow parallel or sharded
+engines behind the same interface.
+
+- :class:`NumpyEngine` — the default.  Executes the flat program in one
+  forward pass over preallocated slots; shared subexpressions are slot
+  reads, batch evaluation is vectorized numpy.
+- :class:`InterpreterEngine` — the seed implementation's behaviour: a
+  per-call iterative post-order walk of the DAG with a dictionary memo.
+  Kept as the baseline for the compilation microbenchmark and as an
+  executable reference semantics for equivalence tests.
+
+Both engines visit nodes in the same order, so given the same RNG they
+produce bit-identical sample streams.  Engines are stateless; select one
+per draw via ``evaluation_config(engine="numpy")`` or pass an instance.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.graph import Node
+from repro.core.plan import (
+    OP_BINARY,
+    OP_SOURCE,
+    OP_UNARY,
+    EvaluationPlan,
+    PlanTelemetry,
+)
+
+
+class EngineError(RuntimeError):
+    """Raised when an engine cannot execute a plan."""
+
+
+def _check_batch(values, node: Node, n: int) -> np.ndarray:
+    """Validate the leading dimension of a node's batch output."""
+    values = np.asarray(values)
+    if values.shape[:1] != (n,):
+        # Import here to avoid a cycle: sampling.py imports this module.
+        from repro.core.sampling import SamplingError
+
+        raise SamplingError(
+            f"node {node!r} produced batch of shape {values.shape}, "
+            f"expected leading dimension {n}"
+        )
+    return values
+
+
+class ExecutionEngine:
+    """Strategy interface: produce sample batches for a compiled plan.
+
+    ``run`` fills (and returns) the plan's slot vector; ``sample`` is the
+    common convenience returning just the root batch.  ``memo`` maps nodes
+    to already-sampled batches: entries are reused, and every newly
+    evaluated node is written back — this is what keeps shared variables
+    consistent across multiple roots sampled under one
+    :class:`~repro.core.sampling.SampleContext`.
+    """
+
+    name: str = "abstract"
+
+    def run(
+        self,
+        plan: EvaluationPlan,
+        n: int,
+        rng: np.random.Generator,
+        memo: dict[Node, np.ndarray] | None = None,
+        telemetry: PlanTelemetry | None = None,
+    ) -> list:
+        raise NotImplementedError
+
+    def sample(
+        self,
+        plan: EvaluationPlan,
+        n: int,
+        rng: np.random.Generator,
+        memo: dict[Node, np.ndarray] | None = None,
+        telemetry: PlanTelemetry | None = None,
+    ) -> np.ndarray:
+        """Batch of ``n`` joint samples of the plan's root."""
+        values = self.run(plan, n, rng, memo=memo, telemetry=telemetry)
+        return values[plan.root_slot]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _demanded(plan: EvaluationPlan, values: list) -> list[bool]:
+    """Which slots must be evaluated to produce the root, given pre-seeded
+    slots?  Mirrors the lazy interpreter: a subtree hidden entirely behind
+    memoised nodes is never evaluated (and never consumes RNG)."""
+    needed = [False] * len(values)
+    stack = [plan.root_slot]
+    steps = plan.steps
+    while stack:
+        slot = stack.pop()
+        if needed[slot] or values[slot] is not None:
+            continue
+        needed[slot] = True
+        stack.extend(steps[slot].parent_slots)
+    return needed
+
+
+class NumpyEngine(ExecutionEngine):
+    """Vectorized single-pass execution over preallocated slots (default).
+
+    The hot loop dispatches on the opcode chosen at compile time; binary
+    and unary operators run without the generic ``evaluate_batch``
+    indirection.  With a telemetry sink installed, per-node wall time is
+    recorded by kind (slower; leave telemetry off on hot paths).
+    """
+
+    name = "numpy"
+
+    def run(self, plan, n, rng, memo=None, telemetry=None):
+        values: list = [None] * len(plan.steps)
+        if memo is None and telemetry is None:
+            # Hot path (the SPRT loop, expectations): run the specialized
+            # program with bound callables and no bookkeeping.
+            shape = (n,)
+            for entry in plan.program:
+                opcode = entry[0]
+                if opcode == OP_BINARY:
+                    _, op, slot, a, b, node = entry
+                    out = op(values[a], values[b])
+                elif opcode == OP_SOURCE:
+                    _, evaluate, slot, node = entry
+                    out = evaluate((), n, rng)
+                elif opcode == OP_UNARY:
+                    _, op, slot, a, node = entry
+                    out = op(values[a])
+                else:
+                    _, evaluate, slot, parent_slots, node = entry
+                    out = evaluate([values[i] for i in parent_slots], n, rng)
+                if type(out) is not np.ndarray or out.shape[:1] != shape:
+                    out = _check_batch(out, node, n)
+                values[slot] = out
+            return values
+        seeded = False
+        if memo:
+            slot_of = plan.slot_of
+            for node, batch in memo.items():
+                slot = slot_of.get(node)
+                if slot is not None:
+                    values[slot] = batch
+                    seeded = True
+        if seeded:
+            needed = _demanded(plan, values)
+            steps = [s for s in plan.steps if needed[s.slot]]
+        else:
+            steps = plan.steps
+        if telemetry is None:
+            for step in steps:
+                opcode = step.opcode
+                node = step.node
+                if opcode == OP_BINARY:
+                    a, b = step.parent_slots
+                    out = node.op(values[a], values[b])
+                elif opcode == OP_SOURCE:
+                    out = node.evaluate_batch((), n, rng)
+                elif opcode == OP_UNARY:
+                    out = node.op(values[step.parent_slots[0]])
+                else:
+                    out = node.evaluate_batch(
+                        [values[i] for i in step.parent_slots], n, rng
+                    )
+                if type(out) is not np.ndarray or out.shape[:1] != (n,):
+                    out = _check_batch(out, node, n)
+                values[step.slot] = out
+        else:
+            for step in steps:
+                start = perf_counter()
+                out = step.node.evaluate_batch(
+                    [values[i] for i in step.parent_slots], n, rng
+                )
+                out = _check_batch(out, step.node, n)
+                values[step.slot] = out
+                telemetry.record_node(step.kind, perf_counter() - start)
+            telemetry.record_batch(n)
+        if memo is not None:
+            for step in steps:
+                memo[step.node] = values[step.slot]
+        return values
+
+
+class InterpreterEngine(ExecutionEngine):
+    """The seed interpreter: walk the DAG per draw with a dictionary memo.
+
+    Functionally identical to :class:`NumpyEngine` (same node visit order,
+    same RNG stream); pays graph traversal on every batch.  Serves as the
+    compiled-vs-interpreted baseline and as a second, independently
+    implemented semantics for the equivalence tests.
+    """
+
+    name = "interpreter"
+
+    def run(self, plan, n, rng, memo=None, telemetry=None):
+        local: dict[Node, np.ndarray] = dict(memo) if memo else {}
+        stack: list[tuple[Node, bool]] = [(plan.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in local:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for parent in node.parents:
+                    if parent not in local:
+                        stack.append((parent, False))
+            else:
+                start = perf_counter() if telemetry is not None else 0.0
+                parent_values = [local[p] for p in node.parents]
+                out = _check_batch(node.evaluate_batch(parent_values, n, rng), node, n)
+                local[node] = out
+                if telemetry is not None:
+                    telemetry.record_node(type(node).__name__, perf_counter() - start)
+        if telemetry is not None:
+            telemetry.record_batch(n)
+        if memo is not None:
+            memo.update(local)
+        values: list = [None] * len(plan.steps)
+        for node, slot in plan.slot_of.items():
+            if node in local:
+                values[slot] = local[node]
+        return values
+
+
+# ---------------------------------------------------------------------------
+# Engine registry: names usable in ``evaluation_config(engine=...)``.
+# ---------------------------------------------------------------------------
+
+_ENGINES: dict[str, ExecutionEngine] = {}
+
+
+def register_engine(engine: ExecutionEngine, name: str | None = None) -> ExecutionEngine:
+    """Register ``engine`` under ``name`` (defaults to ``engine.name``)."""
+    key = name or engine.name
+    if not key or key == "abstract":
+        raise ValueError("engines must carry a concrete name")
+    _ENGINES[key] = engine
+    return engine
+
+
+def get_engine(engine: "str | ExecutionEngine") -> ExecutionEngine:
+    """Resolve an engine selection (a name or an instance) to an engine."""
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    try:
+        return _ENGINES[engine]
+    except KeyError:
+        raise EngineError(
+            f"unknown execution engine {engine!r}; available: {sorted(_ENGINES)}"
+        ) from None
+
+
+def available_engines() -> tuple[str, ...]:
+    return tuple(sorted(_ENGINES))
+
+
+register_engine(NumpyEngine())
+register_engine(InterpreterEngine())

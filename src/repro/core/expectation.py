@@ -17,15 +17,25 @@ import numpy as np
 from scipy import stats
 
 from repro.core import conditionals as _cond
-from repro.core.sampling import sample_batch
+from repro.core.plan import compile_plan
+from repro.core.sampling import execute_plan
 from repro.rng import ensure_rng
 
 
 def _resolve(uncertain, rng):
-    node = uncertain.node
+    """Resolve the operand's cached evaluation plan and an RNG.
+
+    ``uncertain`` is normally an :class:`~repro.core.uncertain.Uncertain`
+    (whose ``plan`` property carries the compiled program), but raw nodes
+    are accepted too for internal callers.
+    """
+    plan = getattr(uncertain, "plan", None)
+    if plan is None:
+        node = getattr(uncertain, "node", uncertain)
+        plan = compile_plan(node, telemetry=_cond.get_config().plan_telemetry)
     if rng is None:
         rng = _cond.get_config().rng
-    return node, ensure_rng(rng)
+    return plan, ensure_rng(rng)
 
 
 def expected_value(uncertain, n: int | None = None, rng=None) -> Any:
@@ -35,12 +45,12 @@ def expected_value(uncertain, n: int | None = None, rng=None) -> Any:
     ``GeoCoordinate``), because the mean of objects is their sample sum
     scaled by ``1/n``.
     """
-    node, rng = _resolve(uncertain, rng)
+    plan, rng = _resolve(uncertain, rng)
     if n is None:
         n = _cond.get_config().expectation_samples
     if n <= 0:
         raise ValueError(f"sample size must be positive, got {n}")
-    values = sample_batch(node, n, rng)
+    values = execute_plan(plan, n, rng)
     if values.dtype == object:
         total = values[0]
         for v in values[1:]:
@@ -70,14 +80,14 @@ def expected_value_adaptive(
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     if batch_size < 2 or max_samples < batch_size:
         raise ValueError("need batch_size >= 2 and max_samples >= batch_size")
-    node, rng = _resolve(uncertain, rng)
+    plan, rng = _resolve(uncertain, rng)
     z = float(stats.norm.isf((1.0 - confidence) / 2.0))
     total = 0.0
     total_sq = 0.0
     count = 0
     while count < max_samples:
         k = min(batch_size, max_samples - count)
-        values = np.asarray(sample_batch(node, k, rng), dtype=float)
+        values = np.asarray(execute_plan(plan, k, rng), dtype=float)
         total += float(values.sum())
         total_sq += float((values**2).sum())
         count += k

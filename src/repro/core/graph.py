@@ -39,12 +39,17 @@ class Node:
     depends on).
     """
 
-    __slots__ = ("parents", "label", "uid")
+    # ``_compiled_plan`` caches this node's lowered evaluation plan
+    # (repro.core.plan) directly on the graph, so plan lifetime equals
+    # graph lifetime; ``__weakref__`` lets the plan registry track roots
+    # without keeping them alive.
+    __slots__ = ("parents", "label", "uid", "_compiled_plan", "__weakref__")
 
     def __init__(self, parents: Sequence["Node"], label: str) -> None:
         self.parents: tuple[Node, ...] = tuple(parents)
         self.label = label
         self.uid = next(_node_ids)
+        self._compiled_plan = None
 
     def evaluate_batch(
         self, parent_values: list[np.ndarray], n: int, rng: np.random.Generator
@@ -145,17 +150,16 @@ class ApplyNode(Node):
     def evaluate_batch(self, parent_values, n, rng):
         if self.vectorized:
             return np.asarray(self.fn(*parent_values))
-        first = self.fn(*(vals[0] for vals in parent_values))
-        if isinstance(first, (int, float, np.integer, np.floating, bool, np.bool_)):
-            out = np.empty(n, dtype=type(first) if isinstance(first, (bool, np.bool_)) else float)
-            out[0] = first
-            for i in range(1, n):
-                out[i] = self.fn(*(vals[i] for vals in parent_values))
-            return out
+        results = [self.fn(*(vals[i] for vals in parent_values)) for i in range(n)]
+        if isinstance(
+            results[0], (int, float, np.integer, np.floating, bool, np.bool_)
+        ):
+            # Let numpy infer the result dtype: integer-valued functions keep
+            # an integer dtype instead of being silently coerced to float
+            # (mixed int/float batches still widen to float as before).
+            return np.asarray(results)
         out = np.empty(n, dtype=object)
-        out[0] = first
-        for i in range(1, n):
-            out[i] = self.fn(*(vals[i] for vals in parent_values))
+        out[:] = results
         return out
 
 

@@ -1,0 +1,272 @@
+"""Compilation of Bayesian networks into reusable evaluation plans.
+
+The paper's runtime samples the Uncertain<T> network "much like a JIT"
+(Section 4.2).  The seed implementation re-walked the DAG on every batch:
+each SPRT batch draw built a fresh memo table, re-discovered the
+topological order, and paid per-node ``id()``-dict overhead.  This module
+performs that discovery exactly once: :func:`compile_plan` lowers a
+:class:`~repro.core.graph.Node` DAG into an :class:`EvaluationPlan` — a
+flat, topologically ordered program whose instructions reference their
+operands by *slot index* instead of by dictionary lookup.
+
+Key properties:
+
+- **Shared subexpressions become shared slots.**  Each distinct node gets
+  exactly one slot, so `x + x` reads the same slot twice — the SSA-like
+  dependence analysis of Figure 8, now resolved at compile time.  The plan
+  holds strong references to its nodes, which also removes the seed's
+  GC-pinning workaround (``id()`` keys are only unique while the object is
+  alive; slots are unique forever).
+- **Plans are cached per root node.**  The cache is keyed on graph
+  identity (the root object) and is weak: when a graph dies, its plan is
+  collected.  :func:`invalidate_plan` / :func:`clear_plan_cache` provide
+  the explicit invalidation path.
+- **Plan order matches the seed interpreter's traversal order**, so the
+  compiled engines consume the RNG stream in exactly the same sequence —
+  seed-for-seed identical samples (see ``tests/core/test_plan.py``).
+
+Execution of a plan is the job of an engine (:mod:`repro.core.engines`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from typing import Iterator
+
+from repro.core.graph import BinaryOpNode, Node, UnaryOpNode, iter_nodes
+
+
+@dataclasses.dataclass
+class PlanTelemetry:
+    """Counters describing plan compilation and execution activity.
+
+    Install a sink with ``evaluation_config(plan_telemetry=PlanTelemetry())``
+    (or :meth:`EvaluationConfig.enable_plan_telemetry`); engines then record
+    into it.  This is the Figure 14(b)-style instrumentation for the
+    sampling runtime itself rather than for the hypothesis tests.
+    """
+
+    #: Number of plans lowered from a ``Node`` DAG.
+    plans_compiled: int = 0
+    #: Number of :func:`compile_plan` calls satisfied from the cache.
+    plan_cache_hits: int = 0
+    #: Number of batch executions (one per ``engine.sample`` / context fill).
+    batches_executed: int = 0
+    #: Number of node evaluations across all batches.
+    nodes_evaluated: int = 0
+    #: Total samples produced for root nodes (sum of batch sizes).
+    samples_generated: int = 0
+    #: Wall-clock seconds spent evaluating nodes, keyed by node kind
+    #: (``LeafNode``, ``BinaryOpNode``, ...).
+    node_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def record_node(self, kind: str, seconds: float) -> None:
+        self.nodes_evaluated += 1
+        self.node_seconds[kind] = self.node_seconds.get(kind, 0.0) + seconds
+
+    def record_batch(self, n: int) -> None:
+        self.batches_executed += 1
+        self.samples_generated += int(n)
+
+    def reset(self) -> None:
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+        self.batches_executed = 0
+        self.nodes_evaluated = 0
+        self.samples_generated = 0
+        self.node_seconds = {}
+
+    def as_dict(self) -> dict:
+        return {
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
+            "batches_executed": self.batches_executed,
+            "nodes_evaluated": self.nodes_evaluated,
+            "samples_generated": self.samples_generated,
+            "node_seconds": dict(self.node_seconds),
+        }
+
+
+#: Instruction tags, chosen at compile time so the hot loop can dispatch
+#: without re-inspecting node types.
+OP_SOURCE = 0  # no parents: leaves, point masses (needs n and rng)
+OP_UNARY = 1  # UnaryOpNode: values[out] = op(values[a])
+OP_BINARY = 2  # BinaryOpNode: values[out] = op(values[a], values[b])
+OP_GENERAL = 3  # anything else: node.evaluate_batch(parent values, n, rng)
+
+
+class PlanStep:
+    """One instruction of a compiled plan.
+
+    ``slot`` is this step's output slot (== its index in ``plan.steps``);
+    ``parent_slots`` are the operand slots; ``opcode`` is one of the ``OP_*``
+    tags above.
+    """
+
+    __slots__ = ("node", "slot", "parent_slots", "opcode", "kind")
+
+    def __init__(self, node: Node, slot: int, parent_slots: tuple[int, ...]) -> None:
+        self.node = node
+        self.slot = slot
+        self.parent_slots = parent_slots
+        self.kind = type(node).__name__
+        if not parent_slots:
+            self.opcode = OP_SOURCE
+        elif type(node) is BinaryOpNode:
+            self.opcode = OP_BINARY
+        elif type(node) is UnaryOpNode:
+            self.opcode = OP_UNARY
+        else:
+            self.opcode = OP_GENERAL
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PlanStep {self.slot}: {self.kind} {self.node.label!r} <- {self.parent_slots}>"
+
+
+class EvaluationPlan:
+    """A ``Node`` DAG lowered into a flat, topologically ordered program.
+
+    ``steps[i]`` writes slot ``i``; parents always occupy lower slots, so a
+    single forward pass evaluates the whole network.  The root's value is
+    in ``steps[-1]`` (``root_slot``).
+    """
+
+    __slots__ = (
+        "root",
+        "steps",
+        "slot_of",
+        "root_slot",
+        "leaf_slots",
+        "_program",
+        "__weakref__",
+    )
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        slot_of: dict[Node, int] = {}
+        steps: list[PlanStep] = []
+        for node in iter_nodes(root):
+            slot = len(steps)
+            parent_slots = tuple(slot_of[p] for p in node.parents)
+            steps.append(PlanStep(node, slot, parent_slots))
+            slot_of[node] = slot
+        self.steps: tuple[PlanStep, ...] = tuple(steps)
+        self.slot_of = slot_of
+        self.root_slot = slot_of[root]
+        self.leaf_slots = tuple(s.slot for s in steps if not s.parent_slots)
+        self._program = None
+
+    @property
+    def program(self) -> tuple[tuple, ...]:
+        """Specialized instruction tuples for the hot execution loop.
+
+        Each entry front-loads everything a step needs — opcode, the bound
+        callable, output slot, operand slots, and the node (for error
+        reporting) — so engines dispatch without per-step attribute
+        lookups.  Built lazily and cached on the plan.
+        """
+        if self._program is None:
+            entries = []
+            for s in self.steps:
+                if s.opcode == OP_BINARY:
+                    a, b = s.parent_slots
+                    entries.append((OP_BINARY, s.node.op, s.slot, a, b, s.node))
+                elif s.opcode == OP_UNARY:
+                    entries.append(
+                        (OP_UNARY, s.node.op, s.slot, s.parent_slots[0], s.node)
+                    )
+                elif s.opcode == OP_SOURCE:
+                    entries.append((OP_SOURCE, s.node.evaluate_batch, s.slot, s.node))
+                else:
+                    entries.append(
+                        (
+                            OP_GENERAL,
+                            s.node.evaluate_batch,
+                            s.slot,
+                            s.parent_slots,
+                            s.node,
+                        )
+                    )
+            self._program = tuple(entries)
+        return self._program
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.steps)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[PlanStep]:
+        return iter(self.steps)
+
+    def op_histogram(self) -> dict[str, int]:
+        """Number of steps per node kind (useful for telemetry displays)."""
+        hist: dict[str, int] = {}
+        for step in self.steps:
+            hist[step.kind] = hist.get(step.kind, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<EvaluationPlan {self.num_slots} slots, root "
+            f"{self.root.label!r} @ {self.root_slot}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: keyed on graph identity by storing the plan on the root node
+# itself (``Node._compiled_plan``), so plan lifetime equals graph lifetime
+# and nothing needs pinning.  A weak registry of planned roots supports the
+# cache-wide operations.  Nodes are immutable after construction, so a
+# cached plan can never go stale; the explicit invalidation path exists for
+# exotic callers (e.g. a node class that mutates its distribution in place).
+# ---------------------------------------------------------------------------
+
+_PLANNED_ROOTS: "weakref.WeakSet[Node]" = weakref.WeakSet()
+
+
+def compile_plan(root: Node, telemetry: PlanTelemetry | None = None) -> EvaluationPlan:
+    """Lower ``root``'s DAG into an :class:`EvaluationPlan`, cached per root.
+
+    Repeated calls with the same root object return the same plan, which is
+    what amortises graph traversal across the SPRT's repeated batch draws.
+    """
+    plan = root._compiled_plan
+    if plan is not None:
+        if telemetry is not None:
+            telemetry.plan_cache_hits += 1
+        return plan
+    plan = EvaluationPlan(root)
+    root._compiled_plan = plan
+    _PLANNED_ROOTS.add(root)
+    if telemetry is not None:
+        telemetry.plans_compiled += 1
+    return plan
+
+
+def invalidate_plan(root: Node) -> bool:
+    """Drop the cached plan for ``root``; returns whether one existed."""
+    had = root._compiled_plan is not None
+    root._compiled_plan = None
+    _PLANNED_ROOTS.discard(root)
+    return had
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (all future draws recompile)."""
+    for node in list(_PLANNED_ROOTS):
+        node._compiled_plan = None
+    _PLANNED_ROOTS.clear()
+
+
+def plan_cache_size() -> int:
+    """Number of live cached plans (diagnostics)."""
+    return sum(1 for node in _PLANNED_ROOTS if node._compiled_plan is not None)

@@ -78,31 +78,29 @@ def umedian(values: Iterable[Any]) -> Uncertain:
     return _order_statistic(values, np.median, "umedian")
 
 
-def uall(conditions: Iterable[Any]) -> "Uncertain":
-    """Conjunction of uncertain booleans (balanced ``&`` tree)."""
+def _balanced_boolean(items: list, combine, name: str) -> "Uncertain":
+    """Reduce pairwise so the network (and its compiled plan) stays
+    logarithmic in depth, like :func:`usum`."""
     from repro.core.uncertain import UncertainBool
 
-    items = list(conditions)
     if not items:
-        raise ValueError("uall over an empty collection")
+        raise ValueError(f"{name} over an empty collection")
+    while len(items) > 1:
+        paired = [combine(items[i], items[i + 1]) for i in range(0, len(items) - 1, 2)]
+        if len(items) % 2:
+            paired.append(items[-1])
+        items = paired
     result = items[0]
-    for cond in items[1:]:
-        result = result & cond
     if not isinstance(result, UncertainBool):
-        raise TypeError("uall requires UncertainBool operands")
+        raise TypeError(f"{name} requires UncertainBool operands")
     return result
+
+
+def uall(conditions: Iterable[Any]) -> "Uncertain":
+    """Conjunction of uncertain booleans (balanced ``&`` tree)."""
+    return _balanced_boolean(list(conditions), lambda a, b: a & b, "uall")
 
 
 def uany(conditions: Iterable[Any]) -> "Uncertain":
-    """Disjunction of uncertain booleans."""
-    from repro.core.uncertain import UncertainBool
-
-    items = list(conditions)
-    if not items:
-        raise ValueError("uany over an empty collection")
-    result = items[0]
-    for cond in items[1:]:
-        result = result | cond
-    if not isinstance(result, UncertainBool):
-        raise TypeError("uany requires UncertainBool operands")
-    return result
+    """Disjunction of uncertain booleans (balanced ``|`` tree)."""
+    return _balanced_boolean(list(conditions), lambda a, b: a | b, "uany")

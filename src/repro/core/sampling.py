@@ -5,6 +5,14 @@ evaluate leaves first and propagate values upward, visiting each node exactly
 once per joint sample — the memoisation that makes shared subexpressions
 (Figure 8) statistically correct.
 
+This module is a thin facade over the compilation/execution layer:
+:func:`repro.core.plan.compile_plan` lowers a graph once into a flat,
+topologically ordered :class:`~repro.core.plan.EvaluationPlan` (cached per
+root), and an :class:`~repro.core.engines.ExecutionEngine` (selected by the
+ambient :class:`~repro.core.conditionals.EvaluationConfig`) runs it.
+Repeated draws — the SPRT's batches, ``expected_value``, ``pr()`` — pay
+graph traversal zero times after the first.
+
 The implementation is batch-first: one evaluation pass computes ``n``
 independent joint samples as numpy arrays, which is what the SPRT's batched
 draws (Section 4.3) consume.  A single sample is a batch of one.
@@ -16,7 +24,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.core import conditionals as _cond
+from repro.core.engines import ExecutionEngine, get_engine
 from repro.core.graph import Node
+from repro.core.plan import EvaluationPlan, compile_plan
 from repro.rng import ensure_rng
 
 
@@ -24,67 +35,90 @@ class SamplingError(RuntimeError):
     """Raised when a sampling function misbehaves (wrong shape, NaN policy)."""
 
 
-class SampleContext:
-    """Memo table mapping nodes to their sampled values for one batch.
+def _resolve_engine(engine: "str | ExecutionEngine | None") -> ExecutionEngine:
+    if engine is None:
+        engine = _cond.get_config().engine
+    return get_engine(engine)
 
-    A context represents ``n`` joint assignments to every random variable in
-    the network.  Reusing a context across multiple roots (as the Game of
-    Life's four rule conditionals do within one cell update) keeps shared
-    variables consistent between those roots.
+
+def execute_plan(
+    plan: EvaluationPlan,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    memo: dict[Node, np.ndarray] | None = None,
+    engine: "str | ExecutionEngine | None" = None,
+) -> np.ndarray:
+    """Run a compiled plan, returning ``n`` joint samples of its root.
+
+    ``memo`` (node -> batch) pre-seeds already-sampled variables and
+    receives every newly evaluated one; sharing a memo across plans keeps
+    shared variables consistent between roots.
+    """
+    if n <= 0:
+        raise ValueError(f"batch size must be positive, got {n}")
+    config = _cond.get_config()
+    eng = get_engine(engine if engine is not None else config.engine)
+    return eng.sample(plan, int(n), ensure_rng(rng), memo=memo,
+                      telemetry=config.plan_telemetry)
+
+
+class SampleContext:
+    """One batch of ``n`` joint assignments to every sampled variable.
+
+    A context represents ``n`` joint assignments to the random variables of
+    any graphs evaluated through it.  Reusing a context across multiple
+    roots (as the Game of Life's four rule conditionals do within one cell
+    update) keeps shared variables consistent between those roots.
+
+    Internally the context is a memo table keyed by node object — the node
+    *is* the variable (Figure 8) — filled by executing each root's cached
+    plan with the shared memo.  Keying on the objects themselves (rather
+    than the seed's ``id()`` integers) also keeps every sampled node alive
+    for the lifetime of the context, so no separate GC pinning is needed.
     """
 
-    def __init__(self, n: int, rng: np.random.Generator | int | None = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        engine: "str | ExecutionEngine | None" = None,
+    ) -> None:
         if n <= 0:
             raise ValueError(f"batch size must be positive, got {n}")
         self.n = int(n)
         self.rng = ensure_rng(rng)
-        self._memo: dict[int, np.ndarray] = {}
-        # Keep sampled nodes alive: id() keys are only unique while the
-        # corresponding object is; pinning prevents aliasing after GC.
-        self._pins: list[Node] = []
+        self._engine = engine
+        self._values: dict[Node, np.ndarray] = {}
 
     def __contains__(self, node: Node) -> bool:
-        return id(node) in self._memo
+        return node in self._values
 
     def value_of(self, node: Node) -> np.ndarray:
         """Sampled batch for ``node``, evaluating lazily on first access."""
-        key = id(node)
-        if key not in self._memo:
-            self._evaluate(node)
-        return self._memo[key]
-
-    def _evaluate(self, root: Node) -> None:
-        """Iterative post-order evaluation (no recursion-depth limits)."""
-        stack: list[tuple[Node, bool]] = [(root, False)]
-        memo = self._memo
-        while stack:
-            node, expanded = stack.pop()
-            key = id(node)
-            if key in memo:
-                continue
-            if not expanded:
-                stack.append((node, True))
-                for parent in node.parents:
-                    if id(parent) not in memo:
-                        stack.append((parent, False))
-            else:
-                parent_values = [memo[id(p)] for p in node.parents]
-                values = node.evaluate_batch(parent_values, self.n, self.rng)
-                values = np.asarray(values)
-                if values.shape[:1] != (self.n,):
-                    raise SamplingError(
-                        f"node {node!r} produced batch of shape {values.shape}, "
-                        f"expected leading dimension {self.n}"
-                    )
-                memo[key] = values
-                self._pins.append(node)
+        batch = self._values.get(node)
+        if batch is None:
+            config = _cond.get_config()
+            plan = compile_plan(node, telemetry=config.plan_telemetry)
+            eng = get_engine(
+                self._engine if self._engine is not None else config.engine
+            )
+            batch = eng.sample(
+                plan, self.n, self.rng, memo=self._values,
+                telemetry=config.plan_telemetry,
+            )
+        return batch
 
 
 def sample_batch(
-    root: Node, n: int, rng: np.random.Generator | int | None = None
+    root: Node,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    engine: "str | ExecutionEngine | None" = None,
 ) -> np.ndarray:
-    """Draw ``n`` independent joint samples of ``root``."""
-    return SampleContext(n, rng).value_of(root)
+    """Draw ``n`` independent joint samples of ``root`` via its cached plan."""
+    config = _cond.get_config()
+    plan = compile_plan(root, telemetry=config.plan_telemetry)
+    return execute_plan(plan, n, rng, engine=engine)
 
 
 def sample_once(root: Node, rng: np.random.Generator | int | None = None) -> Any:
@@ -96,11 +130,12 @@ def bernoulli_sampler(root: Node, rng: np.random.Generator):
     """Adapt a boolean-valued node into the draw-k callable the tests use.
 
     Each call draws a fresh batch of joint samples — exactly the repeated
-    batched sampling loop of Section 4.3.
+    batched sampling loop of Section 4.3.  The plan is compiled once, up
+    front, so the SPRT's sequential batches amortise traversal to zero.
     """
+    plan = compile_plan(root, telemetry=_cond.get_config().plan_telemetry)
 
     def draw(k: int) -> np.ndarray:
-        values = sample_batch(root, k, rng)
-        return np.asarray(values, dtype=bool)
+        return np.asarray(execute_plan(plan, k, rng), dtype=bool)
 
     return draw

@@ -30,7 +30,8 @@ from repro.core.graph import (
     PointMassNode,
     UnaryOpNode,
 )
-from repro.core.sampling import SampleContext, bernoulli_sampler, sample_batch
+from repro.core.plan import EvaluationPlan, compile_plan
+from repro.core.sampling import SampleContext, execute_plan
 from repro.core.sprt import HypothesisTest, TestResult
 from repro.dists.base import Distribution
 from repro.dists.empirical import Empirical
@@ -52,7 +53,7 @@ def _as_node(value: Any) -> Node:
 class Uncertain:
     """A random variable of base type ``T``, represented by a sampling DAG."""
 
-    __slots__ = ("node",)
+    __slots__ = ("node", "_plan")
 
     def __init__(self, source: Any, label: str | None = None) -> None:
         """Wrap ``source`` as an uncertain value.
@@ -73,12 +74,28 @@ class Uncertain:
         else:
             node = PointMassNode(source)
         object.__setattr__(self, "node", node)
+        object.__setattr__(self, "_plan", None)
 
     @classmethod
     def from_node(cls, node: Node) -> "Uncertain":
         out = object.__new__(cls)
         object.__setattr__(out, "node", node)
+        object.__setattr__(out, "_plan", None)
         return out
+
+    @property
+    def plan(self) -> EvaluationPlan:
+        """The compiled evaluation plan for this value's network.
+
+        Compiled on first use and carried on the value (plus the global
+        per-root cache), so every draw — the SPRT loop, ``expected_value``,
+        ``pr()`` — reuses one flat program instead of re-walking the DAG.
+        """
+        plan = self._plan
+        if plan is None:
+            plan = compile_plan(self.node, telemetry=_cond.get_config().plan_telemetry)
+            object.__setattr__(self, "_plan", plan)
+        return plan
 
     @classmethod
     def pointmass(cls, value: Any) -> "Uncertain":
@@ -192,13 +209,11 @@ class Uncertain:
 
     def sample(self, rng: np.random.Generator | int | None = None) -> Any:
         """Draw one joint sample of the computation."""
-        rng = self._resolve_rng(rng)
-        return sample_batch(self.node, 1, rng)[0]
+        return execute_plan(self.plan, 1, self._resolve_rng(rng))[0]
 
     def samples(self, n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
-        """Draw ``n`` independent joint samples."""
-        rng = self._resolve_rng(rng)
-        return sample_batch(self.node, n, rng)
+        """Draw ``n`` independent joint samples via the cached plan."""
+        return execute_plan(self.plan, n, self._resolve_rng(rng))
 
     def sample_with(self, context: SampleContext) -> np.ndarray:
         """Sample under a shared :class:`SampleContext` (shared leaves stay
@@ -353,7 +368,12 @@ class UncertainBool(Uncertain):
         if test is None:
             test = config.make_test(threshold)
         rng = self._resolve_rng(rng)
-        result = test.run(bernoulli_sampler(self.node, rng))
+        plan = self.plan
+
+        def draw(k: int) -> np.ndarray:
+            return np.asarray(execute_plan(plan, k, rng), dtype=bool)
+
+        result = test.run(draw)
         config.record(result.samples_used)
         return result
 

@@ -1,6 +1,5 @@
 """Tests for conditional evaluation and its ambient configuration."""
 
-import pytest
 
 from repro.core.conditionals import (
     EvaluationConfig,

@@ -1,6 +1,5 @@
 """Tests for the expected-value operator (fixed and adaptive)."""
 
-import numpy as np
 import pytest
 
 from repro.core.conditionals import evaluation_config

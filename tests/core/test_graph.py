@@ -3,7 +3,6 @@
 import operator
 
 import numpy as np
-import pytest
 
 from repro.core.graph import (
     ApplyNode,
@@ -96,6 +95,20 @@ class TestEvaluation:
         node = ApplyNode(lambda x: x > 0, (_leaf(),))
         out = node.evaluate_batch([np.array([1.0, -1.0])], 2, rng)
         assert out[0] and not out[1]
+
+    def test_apply_preserves_integer_dtype(self, rng):
+        # Regression: the scalar path used to allocate dtype=float, silently
+        # coercing integer-valued functions to float.
+        node = ApplyNode(lambda x: int(x) * 2, (_leaf(),))
+        out = node.evaluate_batch([np.array([1.4, 2.6, 3.0])], 3, rng)
+        assert np.issubdtype(out.dtype, np.integer)
+        assert list(out) == [2, 4, 6]
+
+    def test_apply_mixed_int_float_widens(self, rng):
+        node = ApplyNode(lambda x: int(x) if x < 2 else float(x), (_leaf(),))
+        out = node.evaluate_batch([np.array([1.0, 2.5])], 2, rng)
+        assert np.issubdtype(out.dtype, np.floating)
+        assert np.allclose(out, [1.0, 2.5])
 
 
 class TestInspection:

@@ -8,7 +8,6 @@ import pytest
 from repro.core.lifting import apply, lift
 from repro.core.uncertain import Uncertain, UncertainBool
 from repro.dists import Gaussian, PointMass
-from repro.rng import default_rng
 
 
 class TestApply:

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.graph import depth, leaf_nodes
+from repro.core.graph import depth
 from repro.core.reductions import uall, uany, umax, umean, umedian, umin, usum
 from repro.core.uncertain import Uncertain, UncertainBool
 from repro.dists import Gaussian, PointMass, Uniform
-from repro.rng import default_rng
 
 
 class TestUsum:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.graph import node_count
 from repro.core.uncertain import Uncertain, UncertainBool, uncertain
-from repro.dists import Empirical, Gaussian, PointMass
+from repro.dists import Gaussian, PointMass
 
 
 class TestConstruction:

@@ -44,16 +44,16 @@ class TestWeibull:
 
 class TestLaplace:
     def test_moments(self):
-        l = Laplace(2.0, 3.0)
-        assert l.mean == 2.0
-        assert l.variance == 18.0
+        lap = Laplace(2.0, 3.0)
+        assert lap.mean == 2.0
+        assert lap.variance == 18.0
 
     def test_cdf_at_mu(self):
         assert float(Laplace(1.0, 2.0).cdf(1.0)) == pytest.approx(0.5)
 
     def test_pdf_peak(self):
-        l = Laplace(0.0, 1.0)
-        assert float(l.pdf(0.0)) == pytest.approx(0.5)
+        lap = Laplace(0.0, 1.0)
+        assert float(lap.pdf(0.0)) == pytest.approx(0.5)
 
     def test_heavier_tail_than_gaussian(self):
         from repro.dists import Gaussian
@@ -61,8 +61,8 @@ class TestLaplace:
         assert float(Laplace(0, 1).pdf(5.0)) > float(Gaussian(0, 1).pdf(5.0))
 
     def test_sampled_variance(self, fixed_rng):
-        l = Laplace(0.0, 1.0)
-        assert np.var(l.sample_n(50_000, fixed_rng)) == pytest.approx(2.0, rel=0.05)
+        lap = Laplace(0.0, 1.0)
+        assert np.var(lap.sample_n(50_000, fixed_rng)) == pytest.approx(2.0, rel=0.05)
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gps.fusion import FusionResult, MotionModel, ParticleFilter, track_walk
-from repro.gps.geo import GeoCoordinate, enu_distance_m
+from repro.gps.geo import GeoCoordinate
 from repro.gps.sensor import GpsFix, GpsSensor
 from repro.gps.trace import WalkConfig, generate_walk
 from repro.rng import default_rng

@@ -1,6 +1,5 @@
 """Tests for GeoCoordinate and geometry helpers."""
 
-import math
 
 import pytest
 

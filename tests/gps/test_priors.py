@@ -80,9 +80,8 @@ class TestRoadGraph:
             build_road_graph([])
 
     def test_degenerate_segment_distance(self):
-        roads = build_road_graph([(ORIGIN, ORIGIN.offset_m(100.0, 0.0))])
         # point-segment distance with a zero-length "segment" exercises the
-        # guard inside the helper through a degenerate extra segment.
+        # guard inside the helper.
         from repro.gps.priors import _point_segment_distance_m
 
         d = _point_segment_distance_m(ORIGIN.offset_m(3.0, 4.0), ORIGIN, ORIGIN)

@@ -1,7 +1,6 @@
 """Tests for free-running noisy Life dynamics."""
 
 import numpy as np
-import pytest
 
 from repro.life.dynamics import (
     DivergenceTrace,

@@ -1,7 +1,5 @@
 """Tests for the Figure 14 evaluation harness."""
 
-import numpy as np
-import pytest
 
 from repro.life.engine import random_board
 from repro.life.evaluation import evaluate_variant, evaluate_variants, run_generation

@@ -7,10 +7,8 @@ from repro.life.sensors import (
     corrected_sensor_leaf,
     corrected_sensor_sum,
     noisy_sensor_readings,
-    sensor_leaf,
     sensor_sum,
 )
-from repro.rng import default_rng
 from scipy.stats import norm
 
 

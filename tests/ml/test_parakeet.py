@@ -14,7 +14,7 @@ from repro.ml.evaluation import (
 from repro.ml.hmc import HMCConfig
 from repro.ml.images import make_dataset
 from repro.ml.mlp import MLP
-from repro.ml.parakeet import Parakeet, Parrot, train_parakeet, train_parrot
+from repro.ml.parakeet import Parakeet, train_parakeet, train_parrot
 from repro.rng import default_rng
 
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.conditionals import evaluation_config
-from repro.core.sampling import SamplingError
 from repro.core.sprt import SPRT, TestDecision
 from repro.core.uncertain import Uncertain
 from repro.dists import Empirical, Gaussian

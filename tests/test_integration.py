@@ -1,6 +1,5 @@
 """Cross-module integration tests: full pipelines through the public API."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -65,7 +64,6 @@ class TestGpsPipeline:
 
 class TestLiftedGeometryPipeline:
     def test_lifted_distance_between_uncertain_points(self):
-        import math
 
         from repro.gps.geo import GeoCoordinate, enu_distance_m
 
