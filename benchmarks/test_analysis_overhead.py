@@ -1,0 +1,78 @@
+"""Microbenchmark: interval analysis must stay cheap enough for compile time.
+
+``EvaluationConfig.enable_plan_analysis()`` runs the abstract interpreter
+once per freshly compiled plan, inside the sampling path.  For that to be
+a reasonable default to recommend, a full ``analyze_plan`` — interval
+inference plus all five rule checks — over a fig08-style
+shared-subexpression network has to complete in well under a millisecond.
+This bench builds such a graph (~60 slots, heavy node sharing, a mix of
+arithmetic, comparisons, point masses and a division), measures the pass,
+asserts the <1 ms budget, and records the numbers in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import analyze_plan
+from repro.analysis.intervals import infer_intervals
+from repro.core.plan import compile_plan
+from repro.core.uncertain import Uncertain
+from repro.dists import Gaussian, Uniform
+
+REPEATS = 200
+BUDGET_SECONDS = 1e-3
+
+
+def _fig08_style_root():
+    """A shared-subexpression network in the spirit of Figure 8.
+
+    Chains of ``acc = (acc + x) * y`` reuse the same leaves throughout, so
+    nearly every slot is consumed more than once; a constant unit
+    conversion and a final evidence comparison make all rule checks do
+    real work.
+    """
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Uniform(0.5, 1.5), label="Y")
+    acc = x
+    for _ in range(12):
+        acc = (acc + x) * y
+    scale = Uncertain.pointmass(3600.0) / Uncertain.pointmass(1609.344)
+    scaled = acc * scale
+    safe = scaled / (y + 1.0)  # divisor support [1.5, 2.5]: no finding
+    evidence = safe > 4.0
+    return evidence.node
+
+
+def _best_seconds(fn, *args) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_analysis_under_one_millisecond_per_plan(benchmark):
+    root = _fig08_style_root()
+    plan = compile_plan(root)
+    assert len(plan.steps) >= 30, "workload should be a non-trivial network"
+
+    diagnostics = benchmark.pedantic(
+        analyze_plan, args=(plan,), rounds=REPEATS, iterations=1
+    )
+    # The graph is clean except the deliberate constant sub-DAG.
+    assert [d.rule for d in diagnostics] == ["UNC105"]
+
+    best_full = _best_seconds(analyze_plan, plan)
+    best_intervals = _best_seconds(infer_intervals, plan)
+    print(
+        f"\nanalysis of {len(plan.steps)}-slot fig08-style plan: "
+        f"full pass {best_full * 1e6:.0f} us, "
+        f"intervals only {best_intervals * 1e6:.0f} us "
+        f"(budget {BUDGET_SECONDS * 1e3:.1f} ms)"
+    )
+    assert best_full < BUDGET_SECONDS, (
+        f"analyze_plan took {best_full * 1e3:.3f} ms, over the "
+        f"{BUDGET_SECONDS * 1e3:.1f} ms compile-time budget"
+    )

@@ -1,0 +1,61 @@
+"""Static diagnostics for uncertain computations.
+
+Two complementary passes over the two representations every
+``Uncertain`` program has:
+
+1. **Graph diagnostics** (:mod:`repro.analysis.diagnostics`) — interval
+   abstract interpretation over a compiled
+   :class:`~repro.core.plan.EvaluationPlan`, reporting division by
+   zero-crossing supports (UNC101), domain-boundary violations (UNC102),
+   statically decided comparisons (UNC103), tautological self-comparisons
+   (UNC104), and foldable constant sub-DAGs (UNC105).
+2. **Source lint** (:mod:`repro.analysis.lint`) — an AST checker for the
+   paper's uncertainty anti-patterns in user code: coercing estimates to
+   facts (UNC201), branching on point estimates (UNC202), un-lifted
+   ``math.*`` calls (UNC203), and implicit conditionals in loops
+   (UNC204, opt-in).
+
+Entry points: ``python -m repro.analysis`` (CLI),
+``Uncertain.diagnose()`` (per-value), and
+``EvaluationConfig.enable_plan_analysis()`` (warn at compile time).
+See ``docs/analysis.md`` for the full rule catalogue.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    UncertaintyWarning,
+    analyze,
+    analyze_plan,
+    inferred_supports,
+    warn_on_diagnostics,
+)
+from repro.analysis.intervals import Interval, infer_intervals
+from repro.analysis.lint import (
+    LintSummary,
+    default_selection,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ALL_RULES, GRAPH_RULES, LINT_RULES, Rule
+
+__all__ = [
+    "Diagnostic",
+    "UncertaintyWarning",
+    "Interval",
+    "Rule",
+    "ALL_RULES",
+    "GRAPH_RULES",
+    "LINT_RULES",
+    "analyze",
+    "analyze_plan",
+    "infer_intervals",
+    "inferred_supports",
+    "warn_on_diagnostics",
+    "lint_source",
+    "lint_paths",
+    "default_selection",
+    "LintSummary",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,117 @@
+"""Named demo graphs for ``python -m repro.analysis graph <demo>``.
+
+Each demo builds a small, self-contained uncertain computation that
+exercises one or more graph rules, so the CLI can show the abstract
+interpreter working end-to-end without the user writing code first.
+``resolve_target`` also accepts a ``module.path:callable`` spec whose
+callable returns an ``Uncertain`` (or raw ``Node``), which is how users
+point the analyzer at their own graphs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+from typing import Callable
+
+from repro.core.uncertain import Uncertain
+
+
+def _demo_quickstart() -> Uncertain:
+    """The quickstart pace computation.
+
+    Deliberately instructive: a Gaussian speed has support ``(-inf, inf)``
+    even though physical speed is positive, so the pace division trips
+    UNC101 — exactly the silent inf/NaN samples the paper's Section 2
+    warns about.  A truncated or Rayleigh speed model fixes it.
+    """
+    from repro.dists import Gaussian
+
+    speed = Uncertain(Gaussian(3.5, 1.0), label="speed")
+    km_per_h = speed * 1.609344
+    return 60.0 / km_per_h
+
+
+def _demo_div_by_zero() -> Uncertain:
+    """Division by a zero-crossing Gaussian — the UNC101 poster child."""
+    from repro.dists import Gaussian, Uniform
+
+    distance = Uncertain(Uniform(0.0, 100.0), label="distance_m")
+    dt = Uncertain(Gaussian(1.0, 0.5), label="dt_s")
+    return distance / dt
+
+
+def _demo_log_domain() -> Uncertain:
+    """``log`` of a support that dips below zero — UNC102."""
+    from repro.dists import Gaussian
+
+    from repro.core.lifting import lift
+
+    x = Uncertain(Gaussian(2.0, 1.0), label="x")
+    return lift(math.log, vectorized=False)(x)
+
+
+def _demo_decided() -> Uncertain:
+    """A comparison the SPRT can never change — UNC103."""
+    from repro.dists import Uniform
+
+    x = Uncertain(Uniform(0.0, 1.0), label="x")
+    return x > 2.0
+
+
+def _demo_self_compare() -> Uncertain:
+    """``x == x`` on a shared node — UNC104."""
+    from repro.dists import Gaussian
+
+    x = Uncertain(Gaussian(0.0, 1.0), label="x")
+    return x == x
+
+
+def _demo_const_fold() -> Uncertain:
+    """A point-mass-only subexpression — UNC105."""
+    from repro.dists import Gaussian
+
+    mph_per_mps = Uncertain.pointmass(3600.0) / Uncertain.pointmass(1609.344)
+    speed_mps = Uncertain(Gaussian(1.5, 0.3), label="speed_mps")
+    return speed_mps * mph_per_mps
+
+
+def _demo_fig08() -> Uncertain:
+    """Figure 8's shared-subexpression diamond — clean."""
+    from repro.dists import Gaussian
+
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Gaussian(0.0, 1.0), label="Y")
+    return (y + x) + x
+
+
+DEMOS: dict[str, Callable[[], Uncertain]] = {
+    "quickstart": _demo_quickstart,
+    "div-by-zero": _demo_div_by_zero,
+    "log-domain": _demo_log_domain,
+    "decided-comparison": _demo_decided,
+    "self-compare": _demo_self_compare,
+    "const-fold": _demo_const_fold,
+    "fig08": _demo_fig08,
+}
+
+
+def resolve_target(spec: str) -> Uncertain:
+    """Build the graph named by ``spec``.
+
+    ``spec`` is either a demo name from :data:`DEMOS` or a
+    ``module.path:callable`` reference to a zero-argument function
+    returning an ``Uncertain`` or ``Node``.
+    """
+    if spec in DEMOS:
+        return DEMOS[spec]()
+    if ":" in spec:
+        module_name, _, attr = spec.partition(":")
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr)
+        value = factory()
+        return value if isinstance(value, Uncertain) else Uncertain(value)
+    raise SystemExit(
+        f"unknown demo {spec!r}; choose one of {', '.join(sorted(DEMOS))} "
+        "or pass a 'module.path:callable' spec"
+    )

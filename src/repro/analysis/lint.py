@@ -1,0 +1,383 @@
+"""Pass 2: an AST linter for uncertainty bugs in user source code.
+
+The paper's Section 2 catalogues three *uncertainty bugs*: treating an
+estimate as a fact, compounding error through computation, and asking
+boolean questions of probabilistic data.  The runtime already defends
+against some of these (``Uncertain.__bool__`` raises); this linter moves
+the rest of the defence to *before the program runs*:
+
+- **UNC201** — ``float(x)`` / ``int(x)`` / ``bool(x)`` on an uncertain
+  value: the coercion collapses a distribution to a number (or raises at
+  runtime, for ``bool``).
+- **UNC202** — branching on ``x.expected_value() > t`` (or ``x.E()``):
+  the expected value is a point estimate; the whole point of the library
+  is to branch on *evidence* (``if x > t:`` or ``(x > t).pr(alpha)``).
+- **UNC203** — ``math.sqrt(x)`` and friends on an uncertain operand:
+  ``math`` functions reject non-floats, and even when they appear to work
+  the uncertainty is destroyed.  ``repro.lift(math.sqrt)`` is the lifted
+  alternative.
+- **UNC204** *(opt-in)* — an implicit conditional (``if x > t:``) inside
+  a loop: each iteration silently runs an SPRT at the 50% threshold; a
+  loop is usually where the false-positive/false-negative trade-off
+  matters, so an explicit ``.pr(alpha)`` is clearer and cheaper to review.
+
+**Taint inference.**  The checker is intraprocedural and deliberately
+simple: a name becomes *uncertain* when it is assigned from an
+``Uncertain(...)``/``uncertain(...)`` constructor (or ``.to_empirical()``,
+``Uncertain.from_node``, a ``lift(...)`` call result), and taint
+propagates through arithmetic, comparisons, and method calls that return
+uncertain values.  Names never seen become uncertain are assumed plain —
+the linter prefers false negatives over noise.
+
+**Suppression.**  Append ``# unc: ignore`` (everything) or
+``# unc: ignore[UNC201,UNC203]`` (specific rules) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import LINT_RULES
+
+#: Calls whose result is an uncertain value, by callable name.
+_UNCERTAIN_CONSTRUCTORS = frozenset({"Uncertain", "UncertainBool", "uncertain"})
+
+#: Method names returning a new uncertain value when called on one.
+_UNCERTAIN_METHODS = frozenset({"map", "given", "to_empirical", "between"})
+
+#: Method names that *consume* uncertainty and return plain data.
+_COLLAPSING_METHODS = frozenset({
+    "expected_value", "E", "sample", "samples", "sd", "var", "ci",
+    "histogram", "pr", "test", "evidence", "sample_with", "diagnose",
+})
+
+_ESTIMATE_METHODS = frozenset({"expected_value", "E"})
+
+_IGNORE_RE = re.compile(r"#\s*unc:\s*ignore(?:\[([A-Za-z0-9 ,]+)\])?")
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None = suppress everything)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(r.strip().upper() for r in rules.split(","))
+    return out
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Trailing name of a call target: ``uncertain`` for ``repro.uncertain``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _TaintVisitor(ast.NodeVisitor):
+    """Single forward pass computing taint and collecting findings."""
+
+    def __init__(self, path: str, suppressions, select: frozenset[str]) -> None:
+        self.path = path
+        self.suppressions = suppressions
+        self.select = select
+        self.findings: list[Diagnostic] = []
+        #: Names currently known to hold uncertain values (per scope).
+        self.scopes: list[set[str]] = [set()]
+        #: Names bound to ``lift(...)`` results (calling them taints).
+        self.lifted: set[str] = set()
+        self.loop_depth = 0
+
+    # -- taint lattice ------------------------------------------------------
+
+    def _is_tainted_name(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    def _taint(self, name: str) -> None:
+        self.scopes[-1].add(name)
+
+    def _untaint(self, name: str) -> None:
+        for scope in self.scopes:
+            scope.discard(name)
+
+    def is_uncertain(self, node: ast.expr) -> bool:
+        """Conservative may-analysis: can this expression be uncertain?"""
+        if isinstance(node, ast.Name):
+            return self._is_tainted_name(node.id)
+        if isinstance(node, ast.BinOp):
+            return self.is_uncertain(node.left) or self.is_uncertain(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_uncertain(node.operand)
+        if isinstance(node, ast.Compare):
+            return self.is_uncertain(node.left) or any(
+                self.is_uncertain(c) for c in node.comparators
+            )
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_uncertain(v) for v in node.values)
+        if isinstance(node, ast.Call):
+            return self._call_returns_uncertain(node)
+        if isinstance(node, ast.IfExp):
+            return self.is_uncertain(node.body) or self.is_uncertain(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self.is_uncertain(e) for e in node.elts)
+        return False
+
+    def _call_returns_uncertain(self, node: ast.Call) -> bool:
+        name = _call_name(node.func)
+        if name in _UNCERTAIN_CONSTRUCTORS:
+            return True
+        if name == "from_node":
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id in self.lifted:
+            return True
+        if isinstance(node.func, ast.Attribute):
+            receiver_uncertain = self.is_uncertain(node.func.value)
+            if receiver_uncertain and name in _UNCERTAIN_METHODS:
+                return True
+            if receiver_uncertain and name in _COLLAPSING_METHODS:
+                return False
+        return False
+
+    # -- scope handling -----------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        self.scopes.append(set())
+        outer_loop_depth, self.loop_depth = self.loop_depth, 0
+        self.generic_visit(node)
+        self.loop_depth = outer_loop_depth
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        tainted = self.is_uncertain(node.value)
+        is_lift = (
+            isinstance(node.value, ast.Call)
+            and _call_name(node.value.func) == "lift"
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if tainted:
+                    self._taint(target.id)
+                else:
+                    self._untaint(target.id)
+                if is_lift:
+                    self.lifted.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)) and tainted:
+                # Be conservative: any unpacked name may be uncertain.
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        self._taint(element.id)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name) and self.is_uncertain(node.value):
+            self._taint(node.target.id)
+
+    # -- rule checks --------------------------------------------------------
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if rule_id not in self.select:
+            return
+        suppressed = self.suppressions.get(node.lineno, ())
+        if suppressed is None or rule_id in (suppressed or ()):
+            return
+        rule = LINT_RULES[rule_id]
+        self.findings.append(
+            Diagnostic(
+                rule=rule.id,
+                severity=rule.severity,
+                message=message,
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # UNC201: float/int/bool coercion of an uncertain argument.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("float", "int", "bool")
+            and node.args
+            and self.is_uncertain(node.args[0])
+        ):
+            self._report(
+                "UNC201", node,
+                f"{func.id}() collapses an uncertain value to a single "
+                "number, discarding its distribution; keep it Uncertain or "
+                "use .expected_value() explicitly at the final sink",
+            )
+        # UNC203: math.* on uncertain operands.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+            and any(self.is_uncertain(a) for a in node.args)
+        ):
+            self._report(
+                "UNC203", node,
+                f"math.{func.attr}() on an uncertain operand; use "
+                f"repro.lift(math.{func.attr}) so uncertainty propagates "
+                "through the call",
+            )
+        self.generic_visit(node)
+
+    def _contains_estimate_call(self, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _ESTIMATE_METHODS
+                and self.is_uncertain(sub.func.value)
+            ):
+                return True
+        return False
+
+    def _is_pr_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("pr", "test")
+        )
+
+    def _check_branch(self, test: ast.expr) -> None:
+        # UNC202: branching on a point estimate of an uncertain value.
+        if isinstance(test, ast.Compare) and self._contains_estimate_call(test):
+            self._report(
+                "UNC202", test,
+                "branch compares expected_value(), a point estimate — the "
+                "estimate-as-fact bug; compare the uncertain value itself "
+                "(`if x > t:` or `(x > t).pr(alpha)`) so the decision "
+                "weighs the evidence",
+            )
+        # UNC204 (opt-in): implicit conditional inside a loop.
+        elif (
+            self.loop_depth > 0
+            and not self._is_pr_call(test)
+            and self.is_uncertain(test)
+        ):
+            self._report(
+                "UNC204", test,
+                "implicit conditional on uncertain evidence inside a loop; "
+                "state the evidence threshold explicitly with "
+                "`(cond).pr(alpha)`",
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_branch(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_branch(node.test)
+        self.loop_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self.loop_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self.loop_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self.loop_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+
+def default_selection(enable_opt_in: bool = False) -> frozenset[str]:
+    return frozenset(
+        rule_id for rule_id, rule in LINT_RULES.items()
+        if enable_opt_in or not rule.opt_in
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint Python ``source``; returns diagnostics sorted by line.
+
+    ``select`` names the enabled rules (defaults to every non-opt-in
+    rule).  Syntax errors are reported as a single parse diagnostic
+    rather than raised, so linting a tree of files never aborts.
+    """
+    selected = frozenset(select) if select is not None else default_selection()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="UNC200",
+                severity="error",
+                message=f"could not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+            )
+        ]
+    visitor = _TaintVisitor(path, _suppressions(source), selected)
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda d: (d.line or 0, d.col or 0, d.rule))
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        else:
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(
+            lint_source(file_path.read_text(), path=str(file_path), select=select)
+        )
+    return findings
+
+
+@dataclasses.dataclass(frozen=True)
+class LintSummary:
+    """Aggregate counts used by the CLI exit-code logic."""
+
+    errors: int
+    warnings: int
+    infos: int
+
+    @classmethod
+    def of(cls, findings: Iterable[Diagnostic]) -> "LintSummary":
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for finding in findings:
+            counts[finding.severity] += 1
+        return cls(counts["error"], counts["warning"], counts["info"])
+
+    @property
+    def failing(self) -> bool:
+        return self.errors > 0 or self.warnings > 0

@@ -1,0 +1,47 @@
+"""Text and JSON rendering of analysis diagnostics.
+
+Both passes produce :class:`~repro.analysis.diagnostics.Diagnostic`
+records; this module turns them into the two consumer formats — a
+human-readable listing (one line per finding, ``path:line:col`` prefixes
+for lints, slot references for graph findings) and a JSON document stable
+enough for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Diagnostic]) -> str:
+    """One line per finding plus a closing summary line."""
+    lines = [
+        f"{finding.location()}: {finding.rule} {finding.severity}: {finding.message}"
+        for finding in findings
+    ]
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    if findings:
+        summary = ", ".join(
+            f"{counts[sev]} {sev}(s)" for sev in ("error", "warning", "info")
+            if sev in counts
+        )
+        lines.append(f"found {len(findings)} issue(s): {summary}")
+    else:
+        lines.append("no issues found")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Diagnostic], **meta) -> str:
+    """JSON document: ``{"version": 1, "findings": [...], ...meta}``."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    payload.update(meta)
+    return json.dumps(payload, indent=2, sort_keys=True)

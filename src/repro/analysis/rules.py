@@ -1,0 +1,69 @@
+"""The rule catalogue shared by both static passes.
+
+``UNC1xx`` rules are graph diagnostics produced by abstract interpretation
+of a compiled plan (:mod:`repro.analysis.diagnostics`); ``UNC2xx`` rules
+are source-level lints produced by the AST checker
+(:mod:`repro.analysis.lint`).  ``docs/analysis.md`` is the narrative
+catalogue; this module is the machine-readable one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Severities, in increasing order of concern.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITY_ORDER = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+def severity_at_least(severity: str, floor: str) -> bool:
+    return _SEVERITY_ORDER[severity] >= _SEVERITY_ORDER[floor]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One diagnosable uncertainty-bug pattern."""
+
+    id: str
+    severity: str
+    title: str
+    #: True for rules that only run when explicitly selected.
+    opt_in: bool = False
+
+
+GRAPH_RULES = {
+    "UNC101": Rule("UNC101", ERROR,
+                   "division by a quantity whose support contains zero"),
+    "UNC102": Rule("UNC102", ERROR,
+                   "domain-restricted function applied to a support crossing "
+                   "its domain boundary"),
+    "UNC103": Rule("UNC103", WARNING,
+                   "comparison is statically decidable: Pr is provably 0 or "
+                   "1, so the hypothesis test is wasted work"),
+    "UNC104": Rule("UNC104", WARNING,
+                   "tautological self-comparison of a shared node"),
+    "UNC105": Rule("UNC105", INFO,
+                   "constant (point-mass-only) sub-DAG could be folded at "
+                   "construction time"),
+}
+
+LINT_RULES = {
+    "UNC201": Rule("UNC201", ERROR,
+                   "float()/int()/bool() coercion collapses an uncertain "
+                   "value to a fact"),
+    "UNC202": Rule("UNC202", WARNING,
+                   "branching on expected_value() treats an estimate as a "
+                   "fact; compare the uncertain value and branch on evidence"),
+    "UNC203": Rule("UNC203", WARNING,
+                   "math.* call on an uncertain operand; use "
+                   "repro.lift(math.fn) so uncertainty propagates"),
+    "UNC204": Rule("UNC204", INFO,
+                   "implicit conditional inside a loop; prefer an explicit "
+                   ".pr(alpha) with a stated evidence threshold",
+                   opt_in=True),
+}
+
+ALL_RULES = {**GRAPH_RULES, **LINT_RULES}

@@ -53,6 +53,11 @@ class EvaluationConfig:
     #: Telemetry sink for the plan/engine layer (``None`` = off, the fast
     #: path).  Enable with :meth:`enable_plan_telemetry`.
     plan_telemetry: PlanTelemetry | None = None
+    #: Optional static-analysis hook run once per freshly compiled plan
+    #: (``None`` = off).  Install the default analyzer — which warns with
+    #: :class:`~repro.analysis.UncertaintyWarning` on UNC101-class
+    #: findings — via :meth:`enable_plan_analysis`.
+    plan_analyzer: "callable | None" = None
     #: Running count of Bernoulli samples drawn by conditionals (telemetry
     #: for Figure 14(b)); reset with ``reset_sample_counter``.
     samples_drawn: int = 0
@@ -85,6 +90,21 @@ class EvaluationConfig:
         if self.plan_telemetry is None:
             self.plan_telemetry = PlanTelemetry()
         return self.plan_telemetry
+
+    def enable_plan_analysis(self) -> None:
+        """Warn (once per cached plan) on statically detectable bugs.
+
+        Installs :func:`repro.analysis.warn_on_diagnostics` as the
+        compile-time hook: every fresh plan compile runs the interval
+        abstract interpreter, and error-severity findings — division by a
+        zero-crossing support (UNC101), domain violations (UNC102) —
+        surface as :class:`~repro.analysis.UncertaintyWarning`.  Cache
+        hits never re-analyze, so the overhead is one sub-millisecond
+        pass per distinct graph.
+        """
+        from repro.analysis.diagnostics import warn_on_diagnostics
+
+        self.plan_analyzer = warn_on_diagnostics
 
 
 _active_config = EvaluationConfig()

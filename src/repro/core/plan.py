@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import weakref
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.graph import BinaryOpNode, Node, UnaryOpNode, iter_nodes
 
@@ -233,11 +233,22 @@ class EvaluationPlan:
 _PLANNED_ROOTS: "weakref.WeakSet[Node]" = weakref.WeakSet()
 
 
-def compile_plan(root: Node, telemetry: PlanTelemetry | None = None) -> EvaluationPlan:
+def compile_plan(
+    root: Node,
+    telemetry: PlanTelemetry | None = None,
+    analyze: "Callable[[EvaluationPlan], object] | None" = None,
+) -> EvaluationPlan:
     """Lower ``root``'s DAG into an :class:`EvaluationPlan`, cached per root.
 
     Repeated calls with the same root object return the same plan, which is
     what amortises graph traversal across the SPRT's repeated batch draws.
+
+    ``analyze``, when given, is invoked once per *fresh* compile (never on
+    cache hits) with the new plan — the hook
+    :mod:`repro.analysis` uses to surface UNC101-class diagnostics exactly
+    once per cached plan (see
+    :meth:`~repro.core.conditionals.EvaluationConfig.enable_plan_analysis`).
+    Its return value is ignored; exceptions propagate to the caller.
     """
     plan = root._compiled_plan
     if plan is not None:
@@ -249,6 +260,8 @@ def compile_plan(root: Node, telemetry: PlanTelemetry | None = None) -> Evaluati
     _PLANNED_ROOTS.add(root)
     if telemetry is not None:
         telemetry.plans_compiled += 1
+    if analyze is not None:
+        analyze(plan)
     return plan
 
 

@@ -98,7 +98,11 @@ class SampleContext:
         batch = self._values.get(node)
         if batch is None:
             config = _cond.get_config()
-            plan = compile_plan(node, telemetry=config.plan_telemetry)
+            plan = compile_plan(
+                node,
+                telemetry=config.plan_telemetry,
+                analyze=config.plan_analyzer,
+            )
             eng = get_engine(
                 self._engine if self._engine is not None else config.engine
             )
@@ -117,7 +121,9 @@ def sample_batch(
 ) -> np.ndarray:
     """Draw ``n`` independent joint samples of ``root`` via its cached plan."""
     config = _cond.get_config()
-    plan = compile_plan(root, telemetry=config.plan_telemetry)
+    plan = compile_plan(
+        root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
+    )
     return execute_plan(plan, n, rng, engine=engine)
 
 
@@ -133,7 +139,10 @@ def bernoulli_sampler(root: Node, rng: np.random.Generator):
     batched sampling loop of Section 4.3.  The plan is compiled once, up
     front, so the SPRT's sequential batches amortise traversal to zero.
     """
-    plan = compile_plan(root, telemetry=_cond.get_config().plan_telemetry)
+    config = _cond.get_config()
+    plan = compile_plan(
+        root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
+    )
 
     def draw(k: int) -> np.ndarray:
         return np.asarray(execute_plan(plan, k, rng), dtype=bool)

@@ -93,7 +93,12 @@ class Uncertain:
         """
         plan = self._plan
         if plan is None:
-            plan = compile_plan(self.node, telemetry=_cond.get_config().plan_telemetry)
+            config = _cond.get_config()
+            plan = compile_plan(
+                self.node,
+                telemetry=config.plan_telemetry,
+                analyze=config.plan_analyzer,
+            )
             object.__setattr__(self, "_plan", plan)
         return plan
 
@@ -204,7 +209,10 @@ class Uncertain:
     def __bool__(self) -> bool:
         raise TypeError(
             "an Uncertain value has no direct truth value; compare it "
-            "(e.g. `speed > 4`) to obtain evidence, then branch on that"
+            "(e.g. `speed > 4`) to obtain evidence, then branch on that. "
+            "Coercing an estimate to a fact is the uncertainty bug the "
+            "linter flags as UNC201 — run `python -m repro.analysis lint "
+            "<your code>` and see docs/analysis.md for the rule catalogue"
         )
 
     def sample(self, rng: np.random.Generator | int | None = None) -> Any:
@@ -276,6 +284,20 @@ class Uncertain:
         from repro.core.conditioning import condition
 
         return condition(self, evidence, **kwargs)
+
+    def diagnose(self) -> list:
+        """Static diagnostics for this value's Bayesian network.
+
+        Runs the interval abstract interpreter of :mod:`repro.analysis`
+        over the compiled plan and returns the
+        :class:`~repro.analysis.Diagnostic` records — division by
+        zero-crossing supports, statically decided comparisons,
+        foldable constant sub-DAGs, and friends — without drawing a
+        single sample.  See ``docs/analysis.md`` for the rule catalogue.
+        """
+        from repro.analysis.diagnostics import analyze_plan
+
+        return analyze_plan(self.plan)
 
     def to_empirical(self, n: int = 10_000, rng=None) -> "Uncertain":
         """Freeze this computation into a fixed-pool empirical leaf.

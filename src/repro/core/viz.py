@@ -52,6 +52,16 @@ def describe(value, max_depth: int = 20) -> str:
     return "\n".join(lines)
 
 
+def _escape_dot(label: str) -> str:
+    """Escape a label for a double-quoted DOT string.
+
+    Backslashes first, then quotes — DOT strings use backslash escapes, so
+    replacing quotes with apostrophes (the old behaviour) mangled labels
+    like ``pointmass('a "b"')`` instead of round-tripping them.
+    """
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
 def to_dot(value, graph_name: str = "uncertain") -> str:
     """Graphviz DOT source for the network; leaves are shaded as in the
     paper's figures, edges point from dependencies to dependents."""
@@ -60,7 +70,7 @@ def to_dot(value, graph_name: str = "uncertain") -> str:
     for node in iter_nodes(root):
         shape = "ellipse"
         style = ', style=filled, fillcolor="gray85"' if not node.parents else ""
-        label = node.label.replace('"', "'")
+        label = _escape_dot(node.label)
         lines.append(f'  n{node.uid} [label="{label}", shape={shape}{style}];')
     for node in iter_nodes(root):
         for parent in node.parents:

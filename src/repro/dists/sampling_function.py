@@ -12,7 +12,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.dists.base import Distribution
+from repro.dists.base import REAL_LINE, Distribution, Support
 
 
 class FunctionDistribution(Distribution):
@@ -20,6 +20,14 @@ class FunctionDistribution(Distribution):
 
     Optionally accepts a vectorised ``fn_n(n, rng) -> ndarray`` for speed and
     a ``log_pdf`` callable when the expert also knows the density.
+
+    ``support`` lets the expert declare the closed interval their sampling
+    function can produce (default: the whole real line).  A declared
+    support is what lets user sampling functions participate in interval
+    analysis (:mod:`repro.analysis`) — e.g. declaring ``(0, inf)`` for a
+    time-delta sampler proves downstream divisions safe.  The declaration
+    is trusted, not checked: a function that samples outside it makes the
+    static analysis unsound for that graph.
     """
 
     def __init__(
@@ -28,11 +36,23 @@ class FunctionDistribution(Distribution):
         fn_n: Callable[[int, np.random.Generator], np.ndarray] | None = None,
         log_pdf: Callable[[Any], Any] | None = None,
         discrete: bool = False,
+        support: Support | tuple[float, float] | None = None,
     ) -> None:
         self._fn = fn
         self._fn_n = fn_n
         self._log_pdf = log_pdf
         self.discrete = discrete
+        if support is None:
+            self._support = REAL_LINE
+        elif isinstance(support, Support):
+            self._support = support
+        else:
+            lower, upper = support
+            self._support = Support(float(lower), float(upper))
+        if self._support.lower > self._support.upper:
+            raise ValueError(
+                f"declared support has lower > upper: {self._support}"
+            )
 
     def sample(self, rng: np.random.Generator) -> Any:
         return self._fn(rng)
@@ -62,3 +82,7 @@ class FunctionDistribution(Distribution):
         if self._log_pdf is None:
             raise NotImplementedError("no density was provided for this sampling function")
         return self._log_pdf(x)
+
+    @property
+    def support(self) -> Support:
+        return self._support

@@ -1,0 +1,291 @@
+"""Positive and negative tests for every lint rule (UNC201-UNC204),
+suppression comments, taint inference, and the reporters."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (
+    LintSummary,
+    default_selection,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+PRELUDE = """\
+import math
+from repro import Uncertain, lift, uncertain
+from repro.dists import Gaussian
+"""
+
+
+def lint(body: str, **kwargs) -> list:
+    return lint_source(PRELUDE + textwrap.dedent(body), path="t.py", **kwargs)
+
+
+def rules(body: str, **kwargs) -> list[str]:
+    return [d.rule for d in lint(body, **kwargs)]
+
+
+class TestUNC201Coercion:
+    def test_positive_float(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)
+        """) == ["UNC201"]
+
+    def test_positive_int_of_expression(self):
+        assert rules("""
+            x = uncertain(Gaussian(0, 1))
+            y = int(x * 2 + 1)
+        """) == ["UNC201"]
+
+    def test_positive_bool(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            b = bool(x > 0)
+        """) == ["UNC201"]
+
+    def test_negative_plain_float(self):
+        assert rules("""
+            t = 3.5
+            y = float(t)
+        """) == []
+
+    def test_negative_collapsed_first(self):
+        # expected_value() returns a plain float; coercing that is fine.
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x.expected_value())
+        """) == []
+
+    def test_negative_reassigned_to_plain(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            x = 3.0
+            y = float(x)
+        """) == []
+
+
+class TestUNC202EstimateAsFact:
+    def test_positive_if(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            if x.expected_value() > 4.0:
+                pass
+        """) == ["UNC202"]
+
+    def test_positive_E_alias(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            if x.E() > 4.0:
+                pass
+        """) == ["UNC202"]
+
+    def test_positive_while(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            while x.expected_value() < 10:
+                pass
+        """) == ["UNC202"]
+
+    def test_negative_branch_on_evidence(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            if (x > 4.0).pr(0.9):
+                pass
+        """) == []
+
+    def test_negative_expected_value_outside_branch(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            m = x.expected_value()
+        """) == []
+
+    def test_negative_unrelated_method(self):
+        assert rules("""
+            reading = object()
+            if reading.expected_value() > 4.0:
+                pass
+        """) == []
+
+
+class TestUNC203MathOnUncertain:
+    def test_positive_sqrt(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = math.sqrt(x)
+        """) == ["UNC203"]
+
+    def test_positive_log_of_expression(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = math.log(x + 1)
+        """) == ["UNC203"]
+
+    def test_negative_lifted(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            usqrt = lift(math.sqrt)
+            y = usqrt(x)
+        """) == []
+
+    def test_negative_plain_operand(self):
+        assert rules("""
+            y = math.sqrt(4.0)
+        """) == []
+
+    def test_lifted_result_is_tainted(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            usqrt = lift(math.sqrt)
+            y = usqrt(x)
+            z = float(y)
+        """) == ["UNC201"]
+
+
+class TestUNC204ImplicitConditionalInLoop:
+    BODY = """
+        x = Uncertain(Gaussian(0, 1))
+        for _ in range(10):
+            if x > 4.0:
+                pass
+    """
+
+    def test_opt_in_disabled_by_default(self):
+        assert rules(self.BODY) == []
+        assert "UNC204" not in default_selection()
+
+    def test_positive_when_enabled(self):
+        assert rules(self.BODY, select=default_selection(True)) == ["UNC204"]
+
+    def test_positive_while_loop(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            while True:
+                if x > 0:
+                    break
+        """, select=default_selection(True)) == ["UNC204"]
+
+    def test_negative_explicit_pr(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            for _ in range(10):
+                if (x > 4.0).pr(0.95):
+                    pass
+        """, select=default_selection(True)) == []
+
+    def test_negative_outside_loop(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            if x > 4.0:
+                pass
+        """, select=default_selection(True)) == []
+
+    def test_negative_loop_in_nested_function_scope(self):
+        # The loop is in the outer scope; the branch is in a fresh function
+        # scope with loop_depth reset.
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            for _ in range(10):
+                def probe():
+                    if x > 4.0:
+                        pass
+        """, select=default_selection(True)) == []
+
+
+class TestSuppression:
+    def test_bare_ignore(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)  # unc: ignore
+        """) == []
+
+    def test_rule_specific_ignore(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)  # unc: ignore[UNC201]
+        """) == []
+
+    def test_mismatched_rule_id_does_not_suppress(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)  # unc: ignore[UNC203]
+        """) == ["UNC201"]
+
+    def test_multiple_rule_ids(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(math.sqrt(x))  # unc: ignore[UNC201, UNC203]
+        """) == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_reported_not_raised(self):
+        (diag,) = lint_source("def broken(:\n", path="bad.py")
+        assert diag.rule == "UNC200" and diag.severity == "error"
+
+    def test_select_restricts_rules(self):
+        body = """
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)
+            z = math.sqrt(x)
+        """
+        assert rules(body, select={"UNC203"}) == ["UNC203"]
+
+    def test_findings_sorted_by_line(self):
+        findings = lint("""
+            x = Uncertain(Gaussian(0, 1))
+            a = math.sqrt(x)
+            b = float(x)
+        """)
+        assert [d.rule for d in findings] == ["UNC203", "UNC201"]
+        assert findings[0].line < findings[1].line
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            PRELUDE + "x = Uncertain(Gaussian(0, 1))\ny = float(x)\n"
+        )
+        (tmp_path / "pkg" / "good.py").write_text("a = 1\n")
+        findings = lint_paths([tmp_path])
+        assert [d.rule for d in findings] == ["UNC201"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_summary_counts_and_failing(self):
+        findings = lint("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)
+            z = math.sqrt(x)
+        """)
+        summary = LintSummary.of(findings)
+        assert summary.errors == 1 and summary.warnings == 1
+        assert summary.failing
+        assert not LintSummary.of([]).failing
+
+
+class TestReporters:
+    def _findings(self):
+        return lint("""
+            x = Uncertain(Gaussian(0, 1))
+            y = float(x)
+        """)
+
+    def test_render_text(self):
+        text = render_text(self._findings())
+        assert "t.py:6:5: UNC201 error:" in text
+        assert "found 1 issue(s): 1 error(s)" in text
+
+    def test_render_text_empty(self):
+        assert render_text([]) == "no issues found"
+
+    def test_render_json(self):
+        payload = json.loads(render_json(self._findings(), mode="lint"))
+        assert payload["version"] == 1
+        assert payload["mode"] == "lint"
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "UNC201"
+        assert finding["path"] == "t.py"

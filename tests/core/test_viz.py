@@ -1,7 +1,8 @@
-"""Tests for network pretty-printing and DOT export."""
+"""Tests for network pretty-printing, DOT export, and graph depth."""
 
 import pytest
 
+from repro.core.graph import depth
 from repro.core.uncertain import Uncertain
 from repro.core.viz import describe, summary, to_dot
 from repro.dists import Gaussian
@@ -54,8 +55,23 @@ class TestToDot:
 
     def test_quotes_escaped(self):
         u = Uncertain(Gaussian(0, 1), label='with "quotes"')
-        assert '\\"' not in to_dot(u)  # replaced, not escaped
-        assert "'quotes'" in to_dot(u)
+        dot = to_dot(u)
+        # Quotes are backslash-escaped (DOT string syntax), preserving the
+        # original label instead of rewriting it with apostrophes.
+        assert 'label="with \\"quotes\\""' in dot
+        assert "'quotes'" not in dot
+
+    def test_backslashes_escaped_before_quotes(self):
+        u = Uncertain(Gaussian(0, 1), label='back\\slash "q"')
+        dot = to_dot(u)
+        assert 'back\\\\slash \\"q\\"' in dot
+
+    def test_point_mass_string_label_round_trips(self):
+        u = Uncertain.pointmass('a "b"')
+        dot = to_dot(u)
+        # repr of the string contains quotes; they must be escaped so the
+        # label attribute stays a single well-formed DOT string.
+        assert '\\"b\\"' in dot
 
 
 class TestSummary:
@@ -66,3 +82,27 @@ class TestSummary:
     def test_single_leaf(self):
         info = summary(Uncertain(Gaussian(0, 1)))
         assert info["nodes"] == 1 and info["depth"] == 0
+
+
+class TestDepth:
+    def test_diamond(self):
+        # x feeds both arms of a diamond; depth is the longest path.
+        x = Uncertain(Gaussian(0, 1))
+        left = x + 1.0            # depth 1
+        right = (x * 2.0) + 3.0   # depth 2
+        top = left + right        # diamond apex: depth 3
+        assert depth(top.node) == 3
+
+    def test_diamond_depth_counts_longest_arm_only_once(self):
+        x = Uncertain(Gaussian(0, 1))
+        inner = x + x            # one shared node, used by both apex operands
+        top = inner + inner
+        assert depth(top.node) == 2
+        assert summary(top)["nodes"] == 3  # leaf, inner sum, apex
+
+    def test_nested_diamonds(self):
+        x = Uncertain(Gaussian(0, 1))
+        d1 = (x + 1.0) + (x - 1.0)
+        d2 = (d1 * 2.0) + (d1 / 2.0)
+        assert depth(d2.node) == 4
+        assert summary(d2)["depth"] == 4

@@ -11,6 +11,7 @@ from repro.dists import (
     Mixture,
     Uniform,
 )
+from repro.dists.base import NON_NEGATIVE, Support
 
 
 class TestEmpirical:
@@ -148,3 +149,36 @@ class TestFunctionDistribution:
         d = FunctionDistribution(lambda r: 0.0)
         with pytest.raises(NotImplementedError):
             d.log_pdf(0.0)
+
+    def test_default_support_is_unbounded(self):
+        d = FunctionDistribution(lambda r: 0.0)
+        assert d.support.lower == -np.inf and d.support.upper == np.inf
+
+    def test_declared_support_tuple(self):
+        d = FunctionDistribution(lambda r: r.random(), support=(0.0, 1.0))
+        assert d.support == Support(0.0, 1.0)
+        assert d.support.is_bounded
+
+    def test_declared_support_object(self):
+        d = FunctionDistribution(lambda r: abs(r.normal()), support=NON_NEGATIVE)
+        assert d.support is NON_NEGATIVE
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionDistribution(lambda r: 0.0, support=(2.0, 1.0))
+
+    def test_declared_support_feeds_interval_analysis(self, rng):
+        # The whole point of declaring a support: a user sampling function
+        # with a positive support proves a downstream division safe.
+        from repro.analysis import analyze
+        from repro.core.uncertain import Uncertain
+
+        dt = Uncertain(
+            FunctionDistribution(lambda r: 1.0 + r.random(), support=(1.0, 2.0))
+        )
+        distance = Uncertain(FunctionDistribution(lambda r: 100 * r.random()))
+        speed = distance / dt
+        assert [d.rule for d in analyze(speed)] == []
+
+        undeclared_dt = Uncertain(FunctionDistribution(lambda r: 1.0 + r.random()))
+        assert [d.rule for d in analyze(distance / undeclared_dt)] == ["UNC101"]
