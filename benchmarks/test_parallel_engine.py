@@ -1,0 +1,116 @@
+"""Throughput benchmark: ParallelEngine vs serial NumpyEngine (Section 4.2).
+
+The workload is the fig08 dependence diamond ``(y + x) + x`` at 10^6 joint
+samples — large enough that chunk dispatch is amortised, small enough to
+run in CI.  The bench times the serial engine and a 4-worker pool (pool
+warmed up first, so process start-up is not billed to the steady state),
+verifies the parallel stream is bit-deterministic (identical for 1 and 4
+workers, and equal to the serial chunked reference), and writes the
+numbers to ``BENCH_runtime.json`` at the repo root.
+
+The >= 2x speedup assertion is gated on the machine actually having >= 4
+CPUs: on fewer cores a process pool cannot beat serial numpy, and the
+honest number is still recorded in the JSON either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Uncertain
+from repro.core.engines import NumpyEngine
+from repro.dists import Gaussian
+from repro.runtime.parallel import ParallelEngine, chunk_layout, spawn_chunk_seeds
+
+N = 1_000_000
+WORKERS = 4
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+
+
+def _fig08_plan():
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Gaussian(0.0, 1.0), label="Y")
+    return ((y + x) + x).plan
+
+
+def _chunked_reference(plan, n, seed) -> np.ndarray:
+    chunks = chunk_layout(n)
+    seeds = spawn_chunk_seeds(np.random.default_rng(seed), len(chunks))
+    inner = NumpyEngine()
+    return np.concatenate(
+        [
+            inner.run(plan, size, np.random.default_rng(child))[plan.root_slot]
+            for size, child in zip(chunks, seeds)
+        ]
+    )
+
+
+def _best_time(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_parallel_engine_throughput(benchmark):
+    plan = _fig08_plan()
+    serial = NumpyEngine()
+    parallel = ParallelEngine(workers=WORKERS)
+    try:
+        # Correctness before speed: the parallel stream must be a pure
+        # function of (plan, n, seed) — identical across worker counts and
+        # reproducible by the serial chunked reference.
+        single = ParallelEngine(workers=1)
+        one = single.run(plan, N, np.random.default_rng(42))[plan.root_slot]
+        four = parallel.run(plan, N, np.random.default_rng(42))[plan.root_slot]
+        reference = _chunked_reference(plan, N, 42)
+        deterministic = bool(
+            np.array_equal(one, four) and np.array_equal(four, reference)
+        )
+        assert deterministic
+
+        # Pool and plan payload are warm; time the steady state.
+        serial_s = _best_time(
+            lambda: serial.run(plan, N, np.random.default_rng(0))
+        )
+        parallel_s = benchmark.pedantic(
+            lambda: _best_time(
+                lambda: parallel.run(plan, N, np.random.default_rng(0))
+            ),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        parallel.shutdown()
+        single.shutdown()
+
+    speedup = serial_s / parallel_s
+    cpus = os.cpu_count() or 1
+    result = {
+        "workload": {"plan": "fig08 (y + x) + x", "n": N, "repeats": REPEATS},
+        "workers": WORKERS,
+        "cpus": cpus,
+        "numpy_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "numpy_samples_per_second": N / serial_s,
+        "parallel_samples_per_second": N / parallel_s,
+        "deterministic": deterministic,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(json.dumps(result, indent=2))
+
+    if cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"ParallelEngine({WORKERS}) only {speedup:.2f}x over serial numpy "
+            f"on a {cpus}-cpu machine"
+        )

@@ -10,6 +10,10 @@ together with the substrates the paper's evaluation depends on:
 - :mod:`repro.core` — the uncertain type itself: Bayesian-network
   construction via operator overloading, ancestral sampling, hypothesis-test
   conditionals, and prior-based estimate improvement (Sections 3 and 4).
+- :mod:`repro.evaluate` — the unified evaluation API: configuration
+  (engine, budgets, metrics), estimators, engine registry.
+- :mod:`repro.runtime` — the sampling runtime: the parallel process-pool
+  engine, runtime metrics (``repro.runtime.stats()``), span tracing.
 - :mod:`repro.gps` — the GPS sensor model and GPS-Walking case study
   (Section 5.1).
 - :mod:`repro.life` — the noisy-sensor Game of Life case study (Section 5.2).
@@ -19,12 +23,20 @@ together with the substrates the paper's evaluation depends on:
   used for the related-work comparison (Section 6, Figure 17).
 - :mod:`repro.experiments` — drivers that regenerate every figure in the
   paper's evaluation.
+
+``__all__`` below is the blessed stable surface: the type and its
+constructors, the hypothesis tests, the unified evaluation configuration,
+and the runtime errors.  Everything else is reached through its namespace
+(``repro.evaluate``, ``repro.runtime``, ``repro.core``, ...); the old
+module-level sampling entry points (``sample_once``/``sample_batch``/
+``execute_plan``) are deprecated — see ``docs/api.md`` for migration.
 """
 
 from repro.core.uncertain import Uncertain, UncertainBool, uncertain
 from repro.core.lifting import apply as apply_lifted
 from repro.core.lifting import lift
 from repro.core.bayes import Prior, posterior
+from repro.core.conditionals import EvaluationConfig, evaluation_config
 from repro.core.sprt import (
     FixedSampleTest,
     GroupSequentialTest,
@@ -32,23 +44,43 @@ from repro.core.sprt import (
     SPRT,
     TestDecision,
 )
-from repro.core.sampling import SamplingError
+from repro.core.sampling import (
+    DeadlineExceeded,
+    SampleBudgetExceeded,
+    SamplingError,
+)
 
-__version__ = "1.0.0"
+# The evaluate/runtime namespaces load after core: repro.runtime.parallel
+# imports repro.core and registers the "parallel" engine as a side effect.
+from repro import runtime
+from repro import evaluate
+
+__version__ = "1.1.0"
 
 __all__ = [
+    # the type
     "Uncertain",
     "UncertainBool",
     "uncertain",
     "lift",
     "apply_lifted",
+    # priors
     "Prior",
     "posterior",
+    # unified evaluation surface
+    "EvaluationConfig",
+    "evaluation_config",
+    "evaluate",
+    "runtime",
+    # hypothesis tests
     "HypothesisTest",
     "SPRT",
     "FixedSampleTest",
     "GroupSequentialTest",
     "TestDecision",
+    # runtime errors
     "SamplingError",
+    "SampleBudgetExceeded",
+    "DeadlineExceeded",
     "__version__",
 ]

@@ -48,6 +48,8 @@ from repro.core.engines import (
     register_engine,
 )
 from repro.core.sampling import (
+    DeadlineExceeded,
+    SampleBudgetExceeded,
     SampleContext,
     SamplingError,
     execute_plan,
@@ -93,6 +95,8 @@ __all__ = [
     "available_engines",
     "SampleContext",
     "SamplingError",
+    "SampleBudgetExceeded",
+    "DeadlineExceeded",
     "execute_plan",
     "sample_batch",
     "sample_once",

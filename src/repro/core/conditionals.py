@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+from time import monotonic
 from typing import Iterator
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from repro.core.plan import PlanTelemetry
 from repro.core.sprt import HypothesisTest, SPRT
 from repro.rng import default_rng
+from repro.runtime import metrics as _metrics
 
 
 @dataclasses.dataclass
@@ -33,9 +35,30 @@ class EvaluationConfig:
 
     ``engine`` selects how compiled evaluation plans are executed (see
     :mod:`repro.core.engines`; ``"numpy"`` is the vectorized default,
-    ``"interpreter"`` the per-batch graph walk).  ``plan_telemetry``, when
-    set to a :class:`~repro.core.plan.PlanTelemetry`, makes every engine
-    record nodes evaluated, batches executed, and wall time per node kind.
+    ``"interpreter"`` the per-batch graph walk, ``"parallel"`` the
+    process-pool engine of :mod:`repro.runtime.parallel`).
+    ``plan_telemetry``, when set to a
+    :class:`~repro.core.plan.PlanTelemetry`, makes every engine record
+    nodes evaluated, batches executed, and wall time per node kind.
+
+    The unified evaluation knobs (the ``repro.evaluate`` surface) live
+    here too:
+
+    - ``sample_budget`` — cumulative cap on joint samples drawn while this
+      config is active; exceeding it raises
+      :class:`~repro.core.sampling.SampleBudgetExceeded`.
+    - ``deadline`` — wall-clock seconds, measured from the construction of
+      this config, after which any further draw raises
+      :class:`~repro.core.sampling.DeadlineExceeded` (time-bounded
+      conditionals: the SPRT loop checks before every batch).
+    - ``metrics`` — ``True`` (default) records runtime counters into the
+      process-global :data:`repro.runtime.metrics.METRICS`; ``False``
+      disables recording; a
+      :class:`~repro.runtime.metrics.RuntimeMetrics` instance scopes
+      recording to that instance.
+    - ``estimator_samples`` / ``ci_samples`` — shared default sample sizes
+      for the moment estimators (``sd``/``var``) and the interval/density
+      estimators (``ci``/``histogram``/``evidence``).
     """
 
     alpha: float = 0.05
@@ -58,11 +81,36 @@ class EvaluationConfig:
     #: :class:`~repro.analysis.UncertaintyWarning` on UNC101-class
     #: findings — via :meth:`enable_plan_analysis`.
     plan_analyzer: "callable | None" = None
+    #: Cumulative cap on joint samples drawn under this config (``None`` =
+    #: unlimited).  Enforced centrally by the sampling facade.
+    sample_budget: int | None = None
+    #: Wall-clock budget in seconds from this config's construction
+    #: (``None`` = unlimited).
+    deadline: float | None = None
+    #: Runtime-metrics selection: ``True`` → the process-global registry,
+    #: ``False`` → off, or a :class:`~repro.runtime.metrics.RuntimeMetrics`
+    #: instance for scoped recording.
+    metrics: "bool | object" = True
+    #: Default sample size for the moment estimators ``sd``/``var``.
+    estimator_samples: int = 1_000
+    #: Default sample size for ``ci``/``histogram``/``evidence``.
+    ci_samples: int = 10_000
     #: Running count of Bernoulli samples drawn by conditionals (telemetry
     #: for Figure 14(b)); reset with ``reset_sample_counter``.
     samples_drawn: int = 0
     #: Running count of conditionals evaluated.
     conditionals_evaluated: int = 0
+    #: Running count of joint samples executed under this config (the
+    #: quantity ``sample_budget`` bounds).
+    samples_executed: int = 0
+
+    def __post_init__(self) -> None:
+        # The deadline clock starts when the config is built, so a
+        # ``with evaluation_config(deadline=0.5):`` block bounds the whole
+        # block's sampling, not each individual draw.
+        self.deadline_at = (
+            monotonic() + self.deadline if self.deadline is not None else None
+        )
 
     def make_test(self, threshold: float) -> HypothesisTest:
         """Construct the hypothesis test for a conditional at ``threshold``."""
@@ -80,6 +128,9 @@ class EvaluationConfig:
     def record(self, samples_used: int) -> None:
         self.samples_drawn += samples_used
         self.conditionals_evaluated += 1
+        sink = _metrics.active()
+        if sink is not None:
+            sink.record_conditional(samples_used)
 
     def reset_sample_counter(self) -> None:
         self.samples_drawn = 0
@@ -138,7 +189,8 @@ def evaluation_config(**overrides) -> Iterator[EvaluationConfig]:
     fields = {
         f.name: getattr(base, f.name)
         for f in dataclasses.fields(EvaluationConfig)
-        if f.name not in ("samples_drawn", "conditionals_evaluated")
+        if f.name
+        not in ("samples_drawn", "conditionals_evaluated", "samples_executed")
     }
     fields.update(overrides)
     fresh = EvaluationConfig(**fields)
@@ -147,3 +199,8 @@ def evaluation_config(**overrides) -> Iterator[EvaluationConfig]:
         yield fresh
     finally:
         set_config(previous)
+
+
+# The runtime-metrics module resolves its recording sink through the active
+# configuration (see ``EvaluationConfig.metrics``).
+_metrics.bind_resolver(lambda: get_config().metrics)

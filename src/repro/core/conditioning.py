@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.sampling import execute_plan
+from repro.core.sampling import _execute_plan
 from repro.core.uncertain import Uncertain, UncertainBool
 from repro.dists.empirical import Empirical
 from repro.rng import ensure_rng
@@ -56,9 +56,9 @@ def condition(
     total_accepted = 0
     for _ in range(max_batches):
         memo: dict = {}
-        values = execute_plan(value_plan, batch_size, rng, memo=memo)
+        values = _execute_plan(value_plan, batch_size, rng, memo=memo)
         holds = np.asarray(
-            execute_plan(evidence_plan, batch_size, rng, memo=memo), dtype=bool
+            _execute_plan(evidence_plan, batch_size, rng, memo=memo), dtype=bool
         )
         kept = values[holds]
         if len(kept):

@@ -32,6 +32,8 @@ from repro.core.plan import (
     EvaluationPlan,
     PlanTelemetry,
 )
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
 
 
 class EngineError(RuntimeError):
@@ -83,8 +85,33 @@ class ExecutionEngine:
         memo: dict[Node, np.ndarray] | None = None,
         telemetry: PlanTelemetry | None = None,
     ) -> np.ndarray:
-        """Batch of ``n`` joint samples of the plan's root."""
+        """Batch of ``n`` joint samples of the plan's root.
+
+        This is the instrumented entry point: with a metrics sink active
+        (the default) it attributes samples and wall time to this engine's
+        name, and with a tracer installed it records an
+        ``engine.<name>.sample`` span.  ``run`` stays raw for callers that
+        benchmark or need every slot.
+        """
+        metrics = _metrics.active()
+        tracer = _trace.get_tracer()
+        if metrics is None and tracer is None:
+            return self.run(plan, n, rng, memo=memo, telemetry=telemetry)[
+                plan.root_slot
+            ]
+        start = perf_counter()
         values = self.run(plan, n, rng, memo=memo, telemetry=telemetry)
+        elapsed = perf_counter() - start
+        if metrics is not None:
+            metrics.record_engine(self.name, n, elapsed)
+        if tracer is not None:
+            tracer.record(
+                f"engine.{self.name}.sample",
+                start,
+                elapsed,
+                n=int(n),
+                slots=len(plan.steps),
+            )
         return values[plan.root_slot]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -253,6 +280,14 @@ def get_engine(engine: "str | ExecutionEngine") -> ExecutionEngine:
     try:
         return _ENGINES[engine]
     except KeyError:
+        if engine == "parallel":
+            # The parallel engine lives one layer up (repro.runtime) and
+            # registers itself on import; resolve it lazily so selecting
+            # engine="parallel" works even before repro.runtime loads.
+            import repro.runtime.parallel  # noqa: F401
+
+            if engine in _ENGINES:
+                return _ENGINES[engine]
         raise EngineError(
             f"unknown execution engine {engine!r}; available: {sorted(_ENGINES)}"
         ) from None

@@ -6,6 +6,9 @@ returns their mean.  The paper anticipates "a more intelligent adaptive
 sampling process, sampling until the mean converges"; we provide that too as
 :func:`expected_value_adaptive`, which grows the sample until the CLT
 confidence interval of the running mean is narrower than a tolerance.
+``expected_value(..., adaptive=True)`` reaches it through the unified
+estimator surface (``Uncertain.E`` is a true alias of
+``Uncertain.expected_value``).
 """
 
 from __future__ import annotations
@@ -18,8 +21,10 @@ from scipy import stats
 
 from repro.core import conditionals as _cond
 from repro.core.plan import compile_plan
-from repro.core.sampling import execute_plan
+from repro.core.sampling import _execute_plan
 from repro.rng import ensure_rng
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
 
 
 def _resolve(uncertain, rng):
@@ -38,25 +43,55 @@ def _resolve(uncertain, rng):
     return plan, ensure_rng(rng)
 
 
-def expected_value(uncertain, n: int | None = None, rng=None) -> Any:
+def expected_value(
+    uncertain,
+    n: int | None = None,
+    rng=None,
+    adaptive: bool = False,
+    **adaptive_options,
+) -> Any:
     """Fixed-sample-size Monte-Carlo mean (the paper's ``E``).
 
     Works for any base type with ``+`` and ``/`` (numbers, vectors,
     ``GeoCoordinate``), because the mean of objects is their sample sum
     scaled by ``1/n``.
+
+    With ``adaptive=True`` the fixed sample size is replaced by the
+    CLT stopping rule of :func:`expected_value_adaptive` (keyword options
+    — ``tolerance``, ``confidence``, ``batch_size``, ``max_samples`` —
+    pass through); the return value is still just the mean.  Call
+    :func:`expected_value_adaptive` directly to also get the number of
+    samples the rule consumed.
     """
+    if adaptive:
+        if n is not None:
+            raise TypeError(
+                "expected_value(adaptive=True) sizes its own sample; pass "
+                "max_samples=/tolerance= instead of n="
+            )
+        return expected_value_adaptive(uncertain, rng=rng, **adaptive_options)[0]
+    if adaptive_options:
+        unexpected = ", ".join(sorted(adaptive_options))
+        raise TypeError(
+            f"unexpected keyword argument(s) {unexpected}; adaptive "
+            "stopping options require adaptive=True"
+        )
     plan, rng = _resolve(uncertain, rng)
     if n is None:
         n = _cond.get_config().expectation_samples
     if n <= 0:
         raise ValueError(f"sample size must be positive, got {n}")
-    values = execute_plan(plan, n, rng)
-    if values.dtype == object:
-        total = values[0]
-        for v in values[1:]:
-            total = total + v
-        return total / n
-    return float(np.mean(values))
+    with _trace.span("expectation.fixed", n=int(n)):
+        values = _execute_plan(plan, n, rng)
+        sink = _metrics.active()
+        if sink is not None:
+            sink.record_expectation("fixed", n)
+        if values.dtype == object:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total / n
+        return float(np.mean(values))
 
 
 def expected_value_adaptive(
@@ -85,15 +120,20 @@ def expected_value_adaptive(
     total = 0.0
     total_sq = 0.0
     count = 0
-    while count < max_samples:
-        k = min(batch_size, max_samples - count)
-        values = np.asarray(execute_plan(plan, k, rng), dtype=float)
-        total += float(values.sum())
-        total_sq += float((values**2).sum())
-        count += k
-        mean = total / count
-        var = max(total_sq / count - mean**2, 0.0)
-        half_width = z * math.sqrt(var / count)
-        if count >= 2 * batch_size and half_width <= tolerance:
-            break
+    with _trace.span("expectation.adaptive", tolerance=tolerance) as span_attrs:
+        while count < max_samples:
+            k = min(batch_size, max_samples - count)
+            values = np.asarray(_execute_plan(plan, k, rng), dtype=float)
+            total += float(values.sum())
+            total_sq += float((values**2).sum())
+            count += k
+            mean = total / count
+            var = max(total_sq / count - mean**2, 0.0)
+            half_width = z * math.sqrt(var / count)
+            if count >= 2 * batch_size and half_width <= tolerance:
+                break
+        span_attrs["samples"] = count
+    sink = _metrics.active()
+    if sink is not None:
+        sink.record_expectation("adaptive", count)
     return total / count, count

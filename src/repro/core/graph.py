@@ -56,6 +56,25 @@ class Node:
     ) -> np.ndarray:
         raise NotImplementedError
 
+    # Nodes pickle without their cached plan: the plan is a per-process
+    # lowering artifact (it holds bound methods and a weakly registered
+    # root), and receivers — ParallelEngine workers — recompile in one
+    # pass.  Pickle's memo preserves shared-subexpression identity, so a
+    # diamond DAG stays a diamond on the other side.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if name in ("_compiled_plan", "__weakref__"):
+                    continue
+                state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state):
+        self._compiled_plan = None
+        for name, value in state.items():
+            setattr(self, name, value)
+
     # Nodes hash/compare by identity; they are graph vertices, not values.
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} #{self.uid} {self.label!r}>"

@@ -35,6 +35,8 @@ import weakref
 from typing import Callable, Iterator
 
 from repro.core.graph import BinaryOpNode, Node, UnaryOpNode, iter_nodes
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
 
 
 @dataclasses.dataclass
@@ -214,11 +216,23 @@ class EvaluationPlan:
             hist[step.kind] = hist.get(step.kind, 0) + 1
         return hist
 
+    def __reduce__(self):
+        # Plans serialise as their root graph and recompile on load: the
+        # lowering is cheap and deterministic, and shipping the graph keeps
+        # the payload small (no steps/program/bound methods).  This is what
+        # lets ParallelEngine send a plan to worker processes once.
+        return (_rebuild_plan, (self.root,))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<EvaluationPlan {self.num_slots} slots, root "
             f"{self.root.label!r} @ {self.root_slot}>"
         )
+
+
+def _rebuild_plan(root: Node) -> "EvaluationPlan":
+    """Unpickle target: recompile (and re-cache) the plan for ``root``."""
+    return compile_plan(root)
 
 
 # ---------------------------------------------------------------------------
@@ -251,15 +265,22 @@ def compile_plan(
     Its return value is ignored; exceptions propagate to the caller.
     """
     plan = root._compiled_plan
+    metrics = _metrics.active()
     if plan is not None:
         if telemetry is not None:
             telemetry.plan_cache_hits += 1
+        if metrics is not None:
+            metrics.record_cache_hit()
         return plan
-    plan = EvaluationPlan(root)
+    with _trace.span("plan.compile", root=root.label) as span_attrs:
+        plan = EvaluationPlan(root)
+        span_attrs["slots"] = len(plan.steps)
     root._compiled_plan = plan
     _PLANNED_ROOTS.add(root)
     if telemetry is not None:
         telemetry.plans_compiled += 1
+    if metrics is not None:
+        metrics.record_compile()
     if analyze is not None:
         analyze(plan)
     return plan

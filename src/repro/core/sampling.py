@@ -16,10 +16,21 @@ graph traversal zero times after the first.
 The implementation is batch-first: one evaluation pass computes ``n``
 independent joint samples as numpy arrays, which is what the SPRT's batched
 draws (Section 4.3) consume.  A single sample is a batch of one.
+
+.. deprecated:: 1.1
+   The module-level entry points :func:`sample_once`, :func:`sample_batch`
+   and :func:`execute_plan` are deprecated in favour of the unified
+   evaluation API: ``Uncertain.sample`` / ``Uncertain.samples`` /
+   ``Uncertain.sample_with`` with engine selection and budgets on
+   :class:`~repro.core.conditionals.EvaluationConfig` (see
+   ``docs/api.md`` for migration notes).  They keep working but emit a
+   :class:`DeprecationWarning` once per call site.
 """
 
 from __future__ import annotations
 
+import warnings
+from time import monotonic
 from typing import Any
 
 import numpy as np
@@ -35,10 +46,62 @@ class SamplingError(RuntimeError):
     """Raised when a sampling function misbehaves (wrong shape, NaN policy)."""
 
 
+class SampleBudgetExceeded(SamplingError):
+    """A configured ``sample_budget`` would be exceeded by this draw."""
+
+
+class DeadlineExceeded(SamplingError):
+    """A configured wall-clock ``deadline`` expired before this draw."""
+
+
 def _resolve_engine(engine: "str | ExecutionEngine | None") -> ExecutionEngine:
     if engine is None:
         engine = _cond.get_config().engine
     return get_engine(engine)
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.sampling.{name} is deprecated; use {replacement} "
+        "(see docs/api.md, 'Migrating from the scattered entry points')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _execute_plan(
+    plan: EvaluationPlan,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    memo: dict[Node, np.ndarray] | None = None,
+    engine: "str | ExecutionEngine | None" = None,
+) -> np.ndarray:
+    """Internal, warning-free plan execution used by every runtime caller.
+
+    Enforces the active configuration's ``sample_budget`` and ``deadline``
+    (every draw in the process funnels through here), resolves the engine
+    (explicit argument beats the ambient config), and delegates to the
+    engine's instrumented ``sample``.
+    """
+    if n <= 0:
+        raise ValueError(f"batch size must be positive, got {n}")
+    n = int(n)
+    config = _cond.get_config()
+    if config.deadline is not None and monotonic() > config.deadline_at:
+        raise DeadlineExceeded(
+            f"evaluation deadline of {config.deadline}s expired before a "
+            f"draw of {n} samples"
+        )
+    if config.sample_budget is not None:
+        if config.samples_executed + n > config.sample_budget:
+            raise SampleBudgetExceeded(
+                f"sample budget exhausted: {config.samples_executed} drawn + "
+                f"{n} requested > budget {config.sample_budget}"
+            )
+    config.samples_executed += n
+    eng = get_engine(engine if engine is not None else config.engine)
+    return eng.sample(plan, n, ensure_rng(rng), memo=memo,
+                      telemetry=config.plan_telemetry)
 
 
 def execute_plan(
@@ -53,13 +116,12 @@ def execute_plan(
     ``memo`` (node -> batch) pre-seeds already-sampled variables and
     receives every newly evaluated one; sharing a memo across plans keeps
     shared variables consistent between roots.
+
+    .. deprecated:: 1.1  Use ``Uncertain.samples(n, engine=...)`` or, for
+       shared variables across roots, ``Uncertain.sample_with(context)``.
     """
-    if n <= 0:
-        raise ValueError(f"batch size must be positive, got {n}")
-    config = _cond.get_config()
-    eng = get_engine(engine if engine is not None else config.engine)
-    return eng.sample(plan, int(n), ensure_rng(rng), memo=memo,
-                      telemetry=config.plan_telemetry)
+    _deprecated("execute_plan", "Uncertain.samples / Uncertain.sample_with")
+    return _execute_plan(plan, n, rng, memo=memo, engine=engine)
 
 
 class SampleContext:
@@ -93,8 +155,15 @@ class SampleContext:
     def __contains__(self, node: Node) -> bool:
         return node in self._values
 
-    def value_of(self, node: Node) -> np.ndarray:
-        """Sampled batch for ``node``, evaluating lazily on first access."""
+    def value_of(
+        self, node: Node, engine: "str | ExecutionEngine | None" = None
+    ) -> np.ndarray:
+        """Sampled batch for ``node``, evaluating lazily on first access.
+
+        ``engine`` overrides, for this evaluation only, the engine chosen
+        at context construction (which itself overrides the ambient
+        configuration).
+        """
         batch = self._values.get(node)
         if batch is None:
             config = _cond.get_config()
@@ -103,14 +172,26 @@ class SampleContext:
                 telemetry=config.plan_telemetry,
                 analyze=config.plan_analyzer,
             )
-            eng = get_engine(
-                self._engine if self._engine is not None else config.engine
-            )
-            batch = eng.sample(
-                plan, self.n, self.rng, memo=self._values,
-                telemetry=config.plan_telemetry,
+            if engine is None:
+                engine = self._engine
+            batch = _execute_plan(
+                plan, self.n, self.rng, memo=self._values, engine=engine
             )
         return batch
+
+
+def _sample_batch(
+    root: Node,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    engine: "str | ExecutionEngine | None" = None,
+) -> np.ndarray:
+    """Internal: ``n`` independent joint samples of ``root`` (no warning)."""
+    config = _cond.get_config()
+    plan = compile_plan(
+        root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
+    )
+    return _execute_plan(plan, n, rng, engine=engine)
 
 
 def sample_batch(
@@ -119,17 +200,21 @@ def sample_batch(
     rng: np.random.Generator | int | None = None,
     engine: "str | ExecutionEngine | None" = None,
 ) -> np.ndarray:
-    """Draw ``n`` independent joint samples of ``root`` via its cached plan."""
-    config = _cond.get_config()
-    plan = compile_plan(
-        root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
-    )
-    return execute_plan(plan, n, rng, engine=engine)
+    """Draw ``n`` independent joint samples of ``root`` via its cached plan.
+
+    .. deprecated:: 1.1  Use ``Uncertain.samples(n, rng=..., engine=...)``.
+    """
+    _deprecated("sample_batch", "Uncertain.samples")
+    return _sample_batch(root, n, rng, engine=engine)
 
 
 def sample_once(root: Node, rng: np.random.Generator | int | None = None) -> Any:
-    """Draw a single joint sample of ``root``."""
-    return sample_batch(root, 1, rng)[0]
+    """Draw a single joint sample of ``root``.
+
+    .. deprecated:: 1.1  Use ``Uncertain.sample(rng=...)``.
+    """
+    _deprecated("sample_once", "Uncertain.sample")
+    return _sample_batch(root, 1, rng)[0]
 
 
 def bernoulli_sampler(root: Node, rng: np.random.Generator):
@@ -145,6 +230,6 @@ def bernoulli_sampler(root: Node, rng: np.random.Generator):
     )
 
     def draw(k: int) -> np.ndarray:
-        return np.asarray(execute_plan(plan, k, rng), dtype=bool)
+        return np.asarray(_execute_plan(plan, k, rng), dtype=bool)
 
     return draw

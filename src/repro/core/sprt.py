@@ -34,6 +34,9 @@ from typing import Callable
 import numpy as np
 from scipy import stats
 
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
+
 
 class TestDecision(enum.Enum):
     """Ternary outcome of a hypothesis test (Section 3.4's ternary logic)."""
@@ -80,6 +83,27 @@ class HypothesisTest:
         self.threshold = float(threshold)
 
     def run(self, draw: BernoulliSampler) -> TestResult:
+        """Run the test against ``draw``, with runtime instrumentation.
+
+        The statistical procedure itself lives in ``_run`` (template
+        method); this wrapper attributes the run — number of sequential
+        steps (batch draws) and total samples — to the runtime metrics
+        registry and, when a tracer is installed, records a
+        ``test.<Kind>.run`` span enclosing the engine batches it caused.
+        """
+        kind = type(self).__name__
+        with _trace.span(f"test.{kind}.run", threshold=self.threshold) as attrs:
+            result, steps = self._run(draw)
+            attrs["steps"] = steps
+            attrs["samples"] = result.samples_used
+            attrs["decision"] = result.decision.value
+        sink = _metrics.active()
+        if sink is not None:
+            sink.record_test(kind, steps, result.samples_used)
+        return result
+
+    def _run(self, draw: BernoulliSampler) -> tuple[TestResult, int]:
+        """Subclass hook: return ``(result, sequential_steps)``."""
         raise NotImplementedError
 
 
@@ -140,9 +164,10 @@ class SPRT(HypothesisTest):
         """Log-likelihood ratio of HA over H0 after the given counts."""
         return successes * self._llr_success + failures * self._llr_failure
 
-    def run(self, draw: BernoulliSampler) -> TestResult:
+    def _run(self, draw: BernoulliSampler) -> tuple[TestResult, int]:
         successes = 0
         total = 0
+        steps = 0
         while total < self.max_samples:
             k = min(self.batch_size, self.max_samples - total)
             batch = np.asarray(draw(k), dtype=bool)
@@ -152,12 +177,16 @@ class SPRT(HypothesisTest):
                 )
             successes += int(batch.sum())
             total += k
+            steps += 1
             llr = self.llr(successes, total - successes)
             if llr >= self.upper_bound:
-                return TestResult(TestDecision.ACCEPT_ALTERNATIVE, total, successes)
+                return (
+                    TestResult(TestDecision.ACCEPT_ALTERNATIVE, total, successes),
+                    steps,
+                )
             if llr <= self.lower_bound:
-                return TestResult(TestDecision.ACCEPT_NULL, total, successes)
-        return TestResult(TestDecision.INCONCLUSIVE, total, successes)
+                return TestResult(TestDecision.ACCEPT_NULL, total, successes), steps
+        return TestResult(TestDecision.INCONCLUSIVE, total, successes), steps
 
 
 class FixedSampleTest(HypothesisTest):
@@ -185,7 +214,7 @@ class FixedSampleTest(HypothesisTest):
         self.n = int(n)
         self.significance = significance
 
-    def run(self, draw: BernoulliSampler) -> TestResult:
+    def _run(self, draw: BernoulliSampler) -> tuple[TestResult, int]:
         batch = np.asarray(draw(self.n), dtype=bool)
         successes = int(batch.sum())
         if self.significance is None:
@@ -194,7 +223,7 @@ class FixedSampleTest(HypothesisTest):
                 if successes > self.threshold * self.n
                 else TestDecision.ACCEPT_NULL
             )
-            return TestResult(decision, self.n, successes)
+            return TestResult(decision, self.n, successes), 1
         p_upper = stats.binom.sf(successes - 1, self.n, self.threshold)
         p_lower = stats.binom.cdf(successes, self.n, self.threshold)
         if p_upper <= self.significance:
@@ -203,7 +232,7 @@ class FixedSampleTest(HypothesisTest):
             decision = TestDecision.ACCEPT_NULL
         else:
             decision = TestDecision.INCONCLUSIVE
-        return TestResult(decision, self.n, successes)
+        return TestResult(decision, self.n, successes), 1
 
 
 class GroupSequentialTest(HypothesisTest):
@@ -245,18 +274,23 @@ class GroupSequentialTest(HypothesisTest):
     def max_samples(self) -> int:
         return self.looks * self.group_size
 
-    def run(self, draw: BernoulliSampler) -> TestResult:
+    def _run(self, draw: BernoulliSampler) -> tuple[TestResult, int]:
         successes = 0
         total = 0
+        steps = 0
         p0 = self.threshold
         for _ in range(self.looks):
             batch = np.asarray(draw(self.group_size), dtype=bool)
             successes += int(batch.sum())
             total += self.group_size
+            steps += 1
             se = math.sqrt(p0 * (1 - p0) / total)
             z = (successes / total - p0) / se
             if z >= self._z_crit:
-                return TestResult(TestDecision.ACCEPT_ALTERNATIVE, total, successes)
+                return (
+                    TestResult(TestDecision.ACCEPT_ALTERNATIVE, total, successes),
+                    steps,
+                )
             if z <= -self._z_crit:
-                return TestResult(TestDecision.ACCEPT_NULL, total, successes)
-        return TestResult(TestDecision.INCONCLUSIVE, total, successes)
+                return TestResult(TestDecision.ACCEPT_NULL, total, successes), steps
+        return TestResult(TestDecision.INCONCLUSIVE, total, successes), steps

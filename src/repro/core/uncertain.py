@@ -31,7 +31,7 @@ from repro.core.graph import (
     UnaryOpNode,
 )
 from repro.core.plan import EvaluationPlan, compile_plan
-from repro.core.sampling import SampleContext, execute_plan
+from repro.core.sampling import SampleContext, _execute_plan
 from repro.core.sprt import HypothesisTest, TestResult
 from repro.dists.base import Distribution
 from repro.dists.empirical import Empirical
@@ -215,51 +215,96 @@ class Uncertain:
             "<your code>` and see docs/analysis.md for the rule catalogue"
         )
 
-    def sample(self, rng: np.random.Generator | int | None = None) -> Any:
+    def sample(
+        self,
+        rng: np.random.Generator | int | None = None,
+        engine: "str | object | None" = None,
+    ) -> Any:
         """Draw one joint sample of the computation."""
-        return execute_plan(self.plan, 1, self._resolve_rng(rng))[0]
+        return _execute_plan(self.plan, 1, self._resolve_rng(rng), engine=engine)[0]
 
-    def samples(self, n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
-        """Draw ``n`` independent joint samples via the cached plan."""
-        return execute_plan(self.plan, n, self._resolve_rng(rng))
+    def samples(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        engine: "str | object | None" = None,
+    ) -> np.ndarray:
+        """Draw ``n`` independent joint samples via the cached plan.
 
-    def sample_with(self, context: SampleContext) -> np.ndarray:
+        ``engine`` overrides the ambient configuration's execution engine
+        for this draw (a registered name like ``"numpy"``/``"parallel"``
+        or an :class:`~repro.core.engines.ExecutionEngine` instance).
+        """
+        return _execute_plan(self.plan, n, self._resolve_rng(rng), engine=engine)
+
+    def sample_with(
+        self, context: SampleContext, engine: "str | object | None" = None
+    ) -> np.ndarray:
         """Sample under a shared :class:`SampleContext` (shared leaves stay
-        consistent across multiple roots)."""
-        return context.value_of(self.node)
+        consistent across multiple roots).  ``engine`` overrides the
+        context's engine for this evaluation."""
+        return context.value_of(self.node, engine=engine)
 
     def expected_value(
         self,
         n: int | None = None,
         rng: np.random.Generator | int | None = None,
+        adaptive: bool = False,
+        **adaptive_options,
     ) -> Any:
         """Table 1's ``E :: U T -> T`` — sample mean over ``n`` draws.
 
         The paper's implementation draws a fixed number of samples; ``n``
         defaults to the ambient configuration's ``expectation_samples``.
-        For an adaptive version see
-        :func:`repro.core.expectation.expected_value_adaptive`.
+        With ``adaptive=True`` the CLT stopping rule of
+        :func:`repro.core.expectation.expected_value_adaptive` sizes the
+        sample instead (its keyword options pass through).
+        :meth:`E` is this method under the paper's name — the same
+        attribute, not a wrapper.
         """
         from repro.core.expectation import expected_value as _expected
 
-        return _expected(self, n=n, rng=rng)
+        return _expected(self, n=n, rng=rng, adaptive=adaptive, **adaptive_options)
 
-    # C#-flavoured alias used throughout the paper's listings.
-    def E(self, n: int | None = None, rng=None) -> Any:  # noqa: N802
-        return self.expected_value(n=n, rng=rng)
+    # C#-flavoured name used throughout the paper's listings: a true alias
+    # (``Uncertain.E is Uncertain.expected_value``), so the signatures can
+    # never drift apart.
+    E = expected_value  # noqa: N815
 
-    def sd(self, n: int = 1_000, rng=None) -> float:
-        """Monte-Carlo standard deviation estimate."""
+    def _estimator_n(self, n: int | None, default_field: str) -> int:
+        """Shared ``n`` defaulting for the moment/interval estimators."""
+        if n is None:
+            n = getattr(_cond.get_config(), default_field)
+        if n <= 0:
+            raise ValueError(f"sample size must be positive, got {n}")
+        return int(n)
+
+    def sd(self, n: int | None = None, rng=None) -> float:
+        """Monte-Carlo standard deviation estimate.
+
+        ``n`` defaults to the active configuration's ``estimator_samples``.
+        """
+        n = self._estimator_n(n, "estimator_samples")
         return float(np.std(np.asarray(self.samples(n, rng), dtype=float)))
 
-    def var(self, n: int = 1_000, rng=None) -> float:
-        """Monte-Carlo variance estimate."""
+    def var(self, n: int | None = None, rng=None) -> float:
+        """Monte-Carlo variance estimate.
+
+        ``n`` defaults to the active configuration's ``estimator_samples``.
+        """
+        n = self._estimator_n(n, "estimator_samples")
         return float(np.var(np.asarray(self.samples(n, rng), dtype=float)))
 
-    def ci(self, level: float = 0.95, n: int = 10_000, rng=None) -> tuple[float, float]:
-        """Central credible interval estimated from ``n`` samples."""
+    def ci(
+        self, level: float = 0.95, n: int | None = None, rng=None
+    ) -> tuple[float, float]:
+        """Central credible interval estimated from ``n`` samples.
+
+        ``n`` defaults to the active configuration's ``ci_samples``.
+        """
         if not 0 < level < 1:
             raise ValueError(f"level must be in (0, 1), got {level}")
+        n = self._estimator_n(n, "ci_samples")
         values = np.asarray(self.samples(n, rng), dtype=float)
         tail = (1.0 - level) / 2.0
         return (
@@ -268,9 +313,13 @@ class Uncertain:
         )
 
     def histogram(
-        self, bins: int = 50, n: int = 10_000, rng=None
+        self, bins: int = 50, n: int | None = None, rng=None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Density histogram of ``n`` samples (counts normalised)."""
+        """Density histogram of ``n`` samples (counts normalised).
+
+        ``n`` defaults to the active configuration's ``ci_samples``.
+        """
+        n = self._estimator_n(n, "ci_samples")
         values = np.asarray(self.samples(n, rng), dtype=float)
         return np.histogram(values, bins=bins, density=True)
 
@@ -393,18 +442,20 @@ class UncertainBool(Uncertain):
         plan = self.plan
 
         def draw(k: int) -> np.ndarray:
-            return np.asarray(execute_plan(plan, k, rng), dtype=bool)
+            return np.asarray(_execute_plan(plan, k, rng), dtype=bool)
 
         result = test.run(draw)
         config.record(result.samples_used)
         return result
 
-    def evidence(self, n: int = 10_000, rng=None) -> float:
+    def evidence(self, n: int | None = None, rng=None) -> float:
         """Direct Monte-Carlo estimate of Pr[condition] from ``n`` samples.
 
         This is the quantity the hypothesis tests reason about; exposing it
-        supports plotting figures like the paper's Figure 9.
+        supports plotting figures like the paper's Figure 9.  ``n``
+        defaults to the active configuration's ``ci_samples``.
         """
+        n = self._estimator_n(n, "ci_samples")
         values = np.asarray(self.samples(n, rng), dtype=bool)
         return float(values.mean())
 

@@ -1,0 +1,98 @@
+"""The unified evaluation API: one namespace for "how do I run this".
+
+Historically the runtime's knobs were scattered: engine selection on
+``execute_plan``, sample sizes hard-coded in estimators, telemetry on a
+separate object, and three module-level sampling entry points.  This
+module is the single blessed surface for controlling evaluation:
+
+- **configure** — :class:`EvaluationConfig` carries every knob in one
+  constructor (``engine=``, ``sample_budget=``, ``deadline=``,
+  ``metrics=``, plus the statistical parameters); scope overrides with
+  :func:`config` (the ``evaluation_config`` context manager)::
+
+      from repro import evaluate
+
+      with evaluate.config(engine="parallel", sample_budget=2_000_000):
+          if speed > 4:          # SPRT batches draw through the pool
+              ...
+
+- **draw** — values are sampled through their own methods
+  (``Uncertain.sample`` / ``samples`` / ``sample_with``), every one
+  accepting an ``engine=`` override; the deprecated module-level
+  ``sample_once`` / ``sample_batch`` / ``execute_plan`` now warn and
+  point here (migration notes in ``docs/api.md``).
+- **estimate** — :func:`expected_value` (with ``adaptive=``) and
+  :func:`expected_value_adaptive`.
+- **observe** — :func:`stats` / :func:`reset_stats` for the runtime
+  counters, :class:`Tracer` / :func:`tracing` for span traces
+  (``docs/runtime.md`` documents both schemas).
+- **extend** — :func:`register_engine` / :func:`get_engine` /
+  :func:`available_engines` for custom execution engines;
+  :class:`ParallelEngine` is the built-in process-pool engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.conditionals import (
+    EvaluationConfig,
+    evaluation_config,
+    evaluation_config as config,
+    get_config,
+    set_config,
+)
+from repro.core.engines import (
+    ExecutionEngine,
+    InterpreterEngine,
+    NumpyEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.core.expectation import expected_value, expected_value_adaptive
+from repro.core.sampling import (
+    DeadlineExceeded,
+    SampleBudgetExceeded,
+    SampleContext,
+    SamplingError,
+)
+from repro.runtime import (
+    RuntimeMetrics,
+    Tracer,
+    reset_stats,
+    set_tracer,
+    stats,
+    tracing,
+)
+from repro.runtime.parallel import ParallelEngine
+
+__all__ = [
+    # configure
+    "EvaluationConfig",
+    "config",
+    "evaluation_config",
+    "get_config",
+    "set_config",
+    # draw
+    "SampleContext",
+    "SamplingError",
+    "SampleBudgetExceeded",
+    "DeadlineExceeded",
+    # estimate
+    "expected_value",
+    "expected_value_adaptive",
+    # observe
+    "stats",
+    "reset_stats",
+    "RuntimeMetrics",
+    "Tracer",
+    "tracing",
+    "set_tracer",
+    # extend
+    "ExecutionEngine",
+    "NumpyEngine",
+    "InterpreterEngine",
+    "ParallelEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+]

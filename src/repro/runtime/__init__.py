@@ -1,0 +1,66 @@
+"""The sampling runtime: parallel execution, metrics, and tracing.
+
+This package is the operational layer over the compile/execute core:
+
+- :mod:`repro.runtime.parallel` — :class:`ParallelEngine`, sharding plan
+  batches across a persistent process pool with a deterministic
+  ``SeedSequence``-spawn stream (registered as engine ``"parallel"``).
+- :mod:`repro.runtime.metrics` — process-global counters answering "what
+  did this process spend its sampling time on"; read with :func:`stats`.
+- :mod:`repro.runtime.trace` — an opt-in span tracer with a JSON
+  exporter for per-operation timelines.
+
+See ``docs/runtime.md`` for engine selection, the parallel determinism
+model, and the metrics/trace schemas.
+
+Import note: ``repro.core`` modules import :mod:`repro.runtime.metrics`
+and :mod:`repro.runtime.trace` (which depend on nothing in ``repro``),
+while :mod:`repro.runtime.parallel` imports ``repro.core`` — so this
+``__init__`` loads the observability half eagerly and the engine half
+lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.metrics import METRICS, EngineStats, RuntimeMetrics
+from repro.runtime.trace import Span, Tracer, get_tracer, set_tracer, tracing
+
+__all__ = [
+    "ParallelEngine",
+    "chunk_layout",
+    "spawn_chunk_seeds",
+    "RuntimeMetrics",
+    "EngineStats",
+    "METRICS",
+    "stats",
+    "reset_stats",
+    "Tracer",
+    "Span",
+    "set_tracer",
+    "get_tracer",
+    "tracing",
+]
+
+
+def stats() -> dict:
+    """Snapshot of the process-global runtime counters.
+
+    Answers "what did this process spend its sampling time on": plans
+    compiled vs cache hits, samples/batches/wall-time per engine, SPRT
+    steps and samples, expectation and conditional activity, and parallel
+    chunk/crash/retry counts.  Schema in ``docs/runtime.md``.
+    """
+    return METRICS.snapshot()
+
+
+def reset_stats() -> None:
+    """Zero the process-global runtime counters."""
+    METRICS.reset()
+
+
+def __getattr__(name: str):
+    if name in ("ParallelEngine", "chunk_layout", "spawn_chunk_seeds"):
+        from repro.runtime import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,201 @@
+"""Process-global runtime metrics for the sampling runtime.
+
+The plan/engine layer answers "what did this process spend its sampling
+time on": how many plans were compiled (vs served from cache), how many
+samples each engine drew and how long it took, how many SPRT batches the
+conditionals consumed.  The counters live in a single process-global
+:class:`RuntimeMetrics` registry (:data:`METRICS`), cheap enough to stay
+on by default — recording is plain attribute arithmetic on the hot path,
+locking only on snapshot/reset.
+
+``repro.runtime.stats()`` returns a snapshot; selection is governed by
+``EvaluationConfig.metrics``:
+
+- ``True`` (default) — record into the global registry;
+- ``False``/``None`` — record nothing;
+- a :class:`RuntimeMetrics` instance — record into that instance (for
+  scoped measurement, e.g. per-request accounting under
+  ``evaluation_config(metrics=RuntimeMetrics())``).
+
+This module must stay import-light (stdlib only): every ``repro.core``
+module imports it, so it can depend on none of them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class EngineStats:
+    """Per-engine sampling counters (samples drawn, batches, wall time)."""
+
+    __slots__ = ("batches", "samples", "seconds")
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.samples = 0
+        self.seconds = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "samples": self.samples,
+            "seconds": self.seconds,
+        }
+
+
+class RuntimeMetrics:
+    """Counter registry for the sampling runtime.
+
+    One instance is process-global (:data:`METRICS`); independent
+    instances can be installed per evaluation scope via
+    ``evaluation_config(metrics=RuntimeMetrics())``.  Counters are plain
+    attributes updated without a lock (the runtime records from the
+    coordinating process only); :meth:`snapshot` and :meth:`reset` take a
+    lock so concurrent readers see a consistent copy.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    # -- recording (hot path: no locks, plain arithmetic) -------------------
+
+    def record_compile(self) -> None:
+        self.plans_compiled += 1
+
+    def record_cache_hit(self) -> None:
+        self.plan_cache_hits += 1
+
+    def record_engine(self, engine: str, n: int, seconds: float) -> None:
+        stats = self.engines.get(engine)
+        if stats is None:
+            stats = self.engines.setdefault(engine, EngineStats())
+        stats.batches += 1
+        stats.samples += int(n)
+        stats.seconds += seconds
+
+    def record_test(self, kind: str, steps: int, samples: int) -> None:
+        """One hypothesis-test run: ``steps`` batch draws, ``samples`` total."""
+        self.sprt_tests += 1
+        self.sprt_steps += int(steps)
+        self.sprt_samples += int(samples)
+        self.tests_by_kind[kind] = self.tests_by_kind.get(kind, 0) + 1
+
+    def record_expectation(self, kind: str, samples: int) -> None:
+        self.expectations += 1
+        self.expectation_samples += int(samples)
+        if kind == "adaptive":
+            self.adaptive_expectations += 1
+
+    def record_conditional(self, samples_used: int) -> None:
+        self.conditionals += 1
+        self.conditional_samples += int(samples_used)
+
+    def record_parallel(
+        self, chunks: int = 0, retries: int = 0, crashes: int = 0,
+        fallbacks: int = 0,
+    ) -> None:
+        self.parallel_chunks += chunks
+        self.parallel_retries += retries
+        self.worker_crashes += crashes
+        self.parallel_fallbacks += fallbacks
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self.plans_compiled = 0
+            self.plan_cache_hits = 0
+            self.engines: dict[str, EngineStats] = {}
+            self.sprt_tests = 0
+            self.sprt_steps = 0
+            self.sprt_samples = 0
+            self.tests_by_kind: dict[str, int] = {}
+            self.expectations = 0
+            self.expectation_samples = 0
+            self.adaptive_expectations = 0
+            self.conditionals = 0
+            self.conditional_samples = 0
+            self.parallel_chunks = 0
+            self.parallel_retries = 0
+            self.worker_crashes = 0
+            self.parallel_fallbacks = 0
+
+    def snapshot(self) -> dict:
+        """A consistent, JSON-serialisable copy of every counter.
+
+        Schema (see ``docs/runtime.md``): top-level keys ``plans``,
+        ``engines``, ``tests``, ``expectations``, ``conditionals``, and
+        ``parallel``.
+        """
+        with self._lock:
+            return {
+                "plans": {
+                    "compiled": self.plans_compiled,
+                    "cache_hits": self.plan_cache_hits,
+                },
+                "engines": {
+                    name: stats.as_dict() for name, stats in self.engines.items()
+                },
+                "tests": {
+                    "runs": self.sprt_tests,
+                    "sprt_steps": self.sprt_steps,
+                    "samples": self.sprt_samples,
+                    "by_kind": dict(self.tests_by_kind),
+                },
+                "expectations": {
+                    "runs": self.expectations,
+                    "samples": self.expectation_samples,
+                    "adaptive_runs": self.adaptive_expectations,
+                },
+                "conditionals": {
+                    "runs": self.conditionals,
+                    "samples": self.conditional_samples,
+                },
+                "parallel": {
+                    "chunks": self.parallel_chunks,
+                    "retries": self.parallel_retries,
+                    "worker_crashes": self.worker_crashes,
+                    "serial_fallbacks": self.parallel_fallbacks,
+                },
+            }
+
+    def total_samples(self) -> int:
+        """Samples drawn across every engine (convenience for budgets)."""
+        return sum(stats.samples for stats in self.engines.values())
+
+
+#: The process-global registry that ``repro.runtime.stats()`` reads.
+METRICS = RuntimeMetrics()
+
+
+# ---------------------------------------------------------------------------
+# Sink resolution.  ``repro.core.conditionals`` binds a resolver returning
+# the active config's ``metrics`` selection; until it does (or when running
+# without a config), the global registry is used.
+# ---------------------------------------------------------------------------
+
+_resolver: Callable[[], object] | None = None
+
+
+def bind_resolver(resolver: Callable[[], object]) -> None:
+    """Install the callable that yields the active ``metrics`` selection."""
+    global _resolver
+    _resolver = resolver
+
+
+def active() -> RuntimeMetrics | None:
+    """The metrics sink the runtime should record into right now.
+
+    ``None`` means recording is disabled for the active evaluation scope.
+    """
+    if _resolver is None:
+        return METRICS
+    selection = _resolver()
+    if selection is True:
+        return METRICS
+    if not selection:
+        return None
+    return selection  # a RuntimeMetrics instance

@@ -1,0 +1,369 @@
+"""Parallel plan execution across a persistent process pool (Section 4.2).
+
+The paper frames sampling as embarrassingly parallel — every joint sample
+of the Bayesian network is independent — so a batch of ``n`` samples can
+be sharded into chunks and executed on separate cores.  This module adds
+:class:`ParallelEngine`, an :class:`~repro.core.engines.ExecutionEngine`
+that does exactly that over a persistent ``ProcessPoolExecutor``.
+
+Determinism model (the part worth reading twice):
+
+- A batch of ``n`` is split by :func:`chunk_layout` into chunks whose
+  boundaries depend **only on n and the configured chunk size — never on
+  the worker count**.  Sizing is adaptive in ``n`` (roughly ``n /
+  MAX_CHUNKS``, floored at :data:`MIN_CHUNK` so tiny SPRT batches never
+  pay IPC), but deliberately *not* adaptive in ``workers``: that is what
+  makes ``workers=1`` and ``workers=8`` bit-identical.
+- Chunk ``i`` is executed by the serial inner engine (``NumpyEngine`` by
+  default) with its own generator, spawned as child ``i`` of the caller's
+  RNG via ``np.random.SeedSequence.spawn`` — the same parent-child
+  derivation :func:`repro.rng.spawn` uses.  The batch is the
+  concatenation of the chunk streams, so the result is a pure function of
+  ``(plan, n, seed, chunk_size)``: independent of worker count, of
+  parallel-vs-serial execution, and of scheduling order.
+
+The stream therefore *differs* from ``NumpyEngine`` run unsharded with
+the same generator (one undivided stream vs. a concatenation of spawned
+streams) — but running ``NumpyEngine`` chunk-by-chunk over the same
+layout and spawned seeds reproduces ``ParallelEngine`` exactly, which is
+what the determinism suite asserts.
+
+Worker protocol: the plan is pickled **once** in the parent (cached per
+plan), and each chunk descriptor ``(plan_id, payload, n, seed, inner)``
+lets a worker unpickle it at most once — workers keep a small plan cache
+keyed by ``plan_id``, so steady-state traffic is descriptors only.
+Unpicklable plans (lambdas in ``FunctionDistribution`` / ``ApplyNode``)
+fall back to serial in-process execution with the *same* sharded seeding,
+preserving results, and warn once per plan.
+
+Failure handling: a worker crash (segfault, ``os._exit``, OOM kill)
+breaks the pool; every unfinished chunk is retried once on a freshly
+built pool, and a second failure surfaces as
+:class:`~repro.core.sampling.SamplingError`.  A per-run ``deadline`` and
+a cumulative ``sample_budget`` raise
+:class:`~repro.core.sampling.DeadlineExceeded` /
+:class:`~repro.core.sampling.SampleBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import warnings
+import weakref
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
+from time import monotonic, perf_counter
+
+import numpy as np
+
+from repro.core.engines import ExecutionEngine, get_engine, register_engine
+from repro.core.plan import EvaluationPlan
+from repro.core.sampling import (
+    DeadlineExceeded,
+    SampleBudgetExceeded,
+    SamplingError,
+)
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
+
+#: Smallest chunk worth shipping to a worker; batches at or below this run
+#: serially in-process (SPRT batches of k=10 must never pay pool IPC).
+MIN_CHUNK = 8_192
+#: Upper bound on chunks per batch (keeps descriptor traffic bounded while
+#: leaving enough chunks to balance load across any sane worker count).
+MAX_CHUNKS = 64
+
+
+def chunk_layout(n: int, chunk_size: int | None = None) -> list[int]:
+    """Deterministic chunk sizes for a batch of ``n`` joint samples.
+
+    With ``chunk_size=None`` the size adapts to ``n`` alone:
+    ``max(MIN_CHUNK, ceil(n / MAX_CHUNKS))``.  Worker count is *never* an
+    input — see the module docstring's determinism model.  Changing
+    ``chunk_size`` changes the sample stream exactly like changing the
+    seed would.
+    """
+    if n <= 0:
+        raise ValueError(f"batch size must be positive, got {n}")
+    if chunk_size is None:
+        chunk_size = max(MIN_CHUNK, -(-n // MAX_CHUNKS))
+    elif chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    full, rest = divmod(n, chunk_size)
+    sizes = [chunk_size] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def spawn_chunk_seeds(rng: np.random.Generator, k: int) -> list:
+    """``k`` child ``SeedSequence``s derived from ``rng``'s seed sequence.
+
+    Spawning advances the parent's spawn counter (not the bit generator),
+    so repeated batches through one generator get fresh, independent
+    streams while two generators built from the same seed agree.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None:  # exotic bit generator: derive entropy from the stream
+        seed_seq = np.random.SeedSequence(int(rng.integers(0, 2**63)))
+    return seed_seq.spawn(k)
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Executed in the pool processes; keeps a bounded cache of
+# unpickled plans so each worker deserialises a plan at most once.
+# ---------------------------------------------------------------------------
+
+_WORKER_PLAN_CACHE_LIMIT = 8
+_worker_plans: "OrderedDict[int, EvaluationPlan]" = OrderedDict()
+
+
+def _run_chunk(plan_id: int, payload: bytes, n: int, seed_seq, inner: str):
+    plan = _worker_plans.get(plan_id)
+    if plan is None:
+        plan = pickle.loads(payload)
+        _worker_plans[plan_id] = plan
+        while len(_worker_plans) > _WORKER_PLAN_CACHE_LIMIT:
+            _worker_plans.popitem(last=False)
+    else:
+        _worker_plans.move_to_end(plan_id)
+    engine = get_engine(inner)
+    values = engine.run(plan, n, np.random.default_rng(seed_seq))
+    return values[plan.root_slot]
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+_plan_ids = itertools.count(1)
+_live_engines: "weakref.WeakSet[ParallelEngine]" = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_all() -> None:  # pragma: no cover - interpreter teardown
+    for engine in list(_live_engines):
+        engine.shutdown()
+
+
+class ParallelEngine(ExecutionEngine):
+    """Shard batches across a persistent process pool (registered as
+    ``"parallel"``; select with ``evaluation_config(engine="parallel")``).
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  ``workers=0`` (or 1)
+        keeps the sharded determinism model but executes every chunk
+        serially in-process — useful as a reference and for debugging.
+    chunk_size:
+        Fixed chunk size, or ``None`` for the adaptive-in-``n`` default.
+        Part of the stream definition: changing it changes the samples.
+    inner:
+        Name of the registered serial engine that executes each chunk.
+    max_retries:
+        Rounds of crash recovery per batch (default 1: failed chunks are
+        retried once on a fresh pool, then ``SamplingError``).
+    sample_budget:
+        Cumulative cap on samples this engine instance may draw;
+        exceeding it raises ``SampleBudgetExceeded``.
+    deadline:
+        Per-``run`` wall-clock limit in seconds; raises
+        ``DeadlineExceeded`` when chunks are still pending at expiry.
+    mp_context:
+        ``multiprocessing`` context or start-method name (default: the
+        platform default, ``fork`` on Linux).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        inner: str = "numpy",
+        max_retries: int = 1,
+        sample_budget: int | None = None,
+        deadline: float | None = None,
+        mp_context=None,
+    ) -> None:
+        self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
+        self.chunk_size = chunk_size
+        self.inner = inner
+        self.max_retries = int(max_retries)
+        self.sample_budget = sample_budget
+        self.deadline = deadline
+        if isinstance(mp_context, str):
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._payloads: "weakref.WeakKeyDictionary[EvaluationPlan, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._samples_drawn = 0
+        _live_engines.add(self)
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=max(1, self.workers), mp_context=self._mp_context
+            )
+        return self._executor
+
+    def _discard_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (a later run lazily rebuilds it)."""
+        self._discard_pool()
+
+    @property
+    def samples_drawn(self) -> int:
+        """Cumulative samples drawn by this engine instance (budget basis)."""
+        return self._samples_drawn
+
+    # -- plan payloads ------------------------------------------------------
+
+    def _payload_for(self, plan: EvaluationPlan) -> tuple:
+        """``(plan_id, pickled_bytes | None)`` — pickled once per plan."""
+        entry = self._payloads.get(plan)
+        if entry is None:
+            try:
+                data = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                warnings.warn(
+                    f"evaluation plan for {plan.root!r} is not picklable "
+                    f"({type(exc).__name__}: {exc}); ParallelEngine falls back "
+                    "to serial in-process execution (same sharded stream). "
+                    "Use module-level functions instead of lambdas/closures "
+                    "in lifted code to enable parallel sampling",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                data = None
+            entry = (next(_plan_ids), data)
+            self._payloads[plan] = entry
+        return entry
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, plan, n, rng, memo=None, telemetry=None):
+        if self.sample_budget is not None and (
+            self._samples_drawn + n > self.sample_budget
+        ):
+            raise SampleBudgetExceeded(
+                f"ParallelEngine sample budget exhausted: {self._samples_drawn} "
+                f"drawn + {n} requested > budget {self.sample_budget}"
+            )
+        if memo is not None:
+            # Shared-context draws need the memo filled with every node's
+            # batch under one joint assignment; that is inherently a
+            # single-stream operation, so defer to the inner engine with
+            # the caller's RNG (exactly NumpyEngine semantics).
+            values = get_engine(self.inner).run(
+                plan, n, rng, memo=memo, telemetry=telemetry
+            )
+            self._samples_drawn += n
+            return values
+        root = self._sample_sharded(plan, int(n), rng, telemetry)
+        self._samples_drawn += n
+        values: list = [None] * len(plan.steps)
+        values[plan.root_slot] = root
+        return values
+
+    def _sample_sharded(self, plan, n, rng, telemetry) -> np.ndarray:
+        chunks = chunk_layout(n, self.chunk_size)
+        seeds = spawn_chunk_seeds(rng, len(chunks))
+        if telemetry is not None:
+            telemetry.record_batch(n)
+        metric = _metrics.active()
+        plan_id, payload = self._payload_for(plan)
+        serial = payload is None or len(chunks) == 1 or self.workers <= 1
+        if metric is not None:
+            metric.record_parallel(
+                chunks=len(chunks),
+                fallbacks=int(payload is None),
+            )
+        if serial:
+            inner = get_engine(self.inner)
+            parts = [
+                inner.run(plan, size, np.random.default_rng(seed))[plan.root_slot]
+                for size, seed in zip(chunks, seeds)
+            ]
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return self._dispatch(plan_id, payload, chunks, seeds, metric)
+
+    def _dispatch(self, plan_id, payload, chunks, seeds, metric) -> np.ndarray:
+        deadline_at = None if self.deadline is None else monotonic() + self.deadline
+        results: list = [None] * len(chunks)
+        todo = list(range(len(chunks)))
+        rounds = 0
+        last_error: BaseException | None = None
+        with _trace.span(
+            "parallel.dispatch", chunks=len(chunks), workers=self.workers
+        ) as span_attrs:
+            while todo:
+                start = perf_counter()
+                futures = {
+                    i: self._pool().submit(
+                        _run_chunk, plan_id, payload, chunks[i], seeds[i], self.inner
+                    )
+                    for i in todo
+                }
+                failed: list[int] = []
+                broken = False
+                for i, future in futures.items():
+                    timeout = None
+                    if deadline_at is not None:
+                        timeout = max(0.0, deadline_at - monotonic())
+                    try:
+                        results[i] = future.result(timeout=timeout)
+                    except TimeoutError:
+                        self._discard_pool()  # drop stragglers with the pool
+                        raise DeadlineExceeded(
+                            f"parallel sampling exceeded its {self.deadline}s "
+                            f"deadline with {sum(r is None for r in results)} "
+                            f"of {len(chunks)} chunks unfinished"
+                        ) from None
+                    except BrokenExecutor as exc:
+                        broken = True
+                        failed.append(i)
+                        last_error = exc
+                if broken:
+                    # A dead worker poisons the whole pool: rebuild it and
+                    # retry every chunk that has no result yet.
+                    self._discard_pool()
+                    if metric is not None:
+                        metric.record_parallel(crashes=1, retries=len(failed))
+                if not failed:
+                    break
+                rounds += 1
+                if rounds > self.max_retries:
+                    raise SamplingError(
+                        f"{len(failed)} sampling chunk(s) crashed the worker "
+                        f"pool {rounds} times (chunk indices {failed}); giving "
+                        "up after max_retries="
+                        f"{self.max_retries}"
+                    ) from last_error
+                todo = failed
+            span_attrs["seconds"] = perf_counter() - start
+            span_attrs["retry_rounds"] = rounds
+        return np.concatenate(results)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ParallelEngine workers={self.workers} "
+            f"chunk_size={self.chunk_size or 'auto'} inner={self.inner!r}>"
+        )
+
+
+register_engine(ParallelEngine())

@@ -1,0 +1,207 @@
+"""Opt-in span tracing for the sampling runtime.
+
+Where :mod:`repro.runtime.metrics` aggregates counters, the tracer keeps
+the individual events: every plan compile, engine batch, hypothesis test
+and expectation becomes a :class:`Span` with a name, start time, duration
+and free-form attributes, nested under whatever span was open when it
+started.  Export the result as JSON (``tracer.export(path)``) to see the
+exact sampling timeline of, say, one ``pr()`` call.
+
+Tracing is **off by default** — the runtime asks :func:`get_tracer` and
+skips all bookkeeping when it returns ``None``.  Enable it either
+explicitly::
+
+    from repro.runtime import Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    ...        # run uncertain computations
+    set_tracer(None)
+    tracer.export("trace.json")
+
+or scoped::
+
+    with tracing() as tracer:
+        ...
+    print(tracer.to_json())
+
+Timestamps are ``time.perf_counter`` seconds, relative to the tracer's
+creation, so spans from one tracer are mutually comparable but not wall
+clock.  This module must stay import-light (stdlib only): every
+``repro.core`` module imports it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from time import perf_counter
+from typing import Iterator
+
+
+class Span:
+    """One traced operation: name, start, duration, attrs, parent link."""
+
+    __slots__ = ("id", "parent", "name", "start", "duration", "attrs")
+
+    def __init__(
+        self,
+        id: int,
+        parent: int | None,
+        name: str,
+        start: float,
+        duration: float,
+        attrs: dict,
+    ) -> None:
+        self.id = id
+        self.parent = parent
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Span #{self.id} {self.name!r} {self.duration * 1e3:.3f}ms>"
+
+
+class Tracer:
+    """Collects :class:`Span` records with parent/child nesting.
+
+    Thread-safe for recording; nesting is tracked per-thread so spans
+    opened on different threads do not adopt each other as parents.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = perf_counter()
+        self._next_id = 0
+        self.spans: list[Span] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Open a span around a block; yields the attrs dict for updates::
+
+            with tracer.span("sprt.run", threshold=0.5) as span_attrs:
+                ...
+                span_attrs["decision"] = str(result.decision)
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack.append(span_id)
+        start = perf_counter()
+        try:
+            yield attrs
+        finally:
+            duration = perf_counter() - start
+            stack.pop()
+            with self._lock:
+                self.spans.append(
+                    Span(span_id, parent, name, start - self._epoch, duration, attrs)
+                )
+
+    def record(self, name: str, start: float, duration: float, **attrs) -> None:
+        """Record an already-measured interval (``start`` in perf_counter
+        seconds) as a child of the currently open span, if any."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(
+                Span(span_id, parent, name, start - self._epoch, duration, attrs)
+            )
+
+    # -- export -------------------------------------------------------------
+
+    def as_dicts(self) -> list[dict]:
+        with self._lock:
+            return [span.as_dict() for span in self.spans]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON document ``{"schema": "repro.trace/1", "spans": [...]}``."""
+        return json.dumps(
+            {"schema": "repro.trace/1", "spans": self.as_dicts()},
+            indent=indent,
+            default=str,
+        )
+
+    def export(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=2))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.spans = []
+            self._next_id = 0
+            self._epoch = perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# ---------------------------------------------------------------------------
+# Active-tracer plumbing.  A module global rather than a contextvar: the
+# runtime is process-wide (like the engine registry), and a global keeps the
+# disabled-path cost to one LOAD_GLOBAL per call site.
+# ---------------------------------------------------------------------------
+
+_active_tracer: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` as the process-wide tracer; returns the previous."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer
+    return previous
+
+
+def get_tracer() -> Tracer | None:
+    """The currently installed tracer, or ``None`` when tracing is off."""
+    return _active_tracer
+
+
+@contextlib.contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scope a tracer: install on entry, restore the previous on exit."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs) -> Iterator[dict]:
+    """Module-level convenience: a span on the active tracer, or a no-op."""
+    tracer = _active_tracer
+    if tracer is None:
+        yield attrs
+    else:
+        with tracer.span(name, **attrs) as span_attrs:
+            yield span_attrs

@@ -1,0 +1,292 @@
+"""Determinism and failure-handling suite for the parallel sampling runtime.
+
+The contract under test (docs/runtime.md):
+
+- ``ParallelEngine(workers=k).run(plan, n, seed)`` is bit-identical for
+  every ``k`` — chunk boundaries and chunk seeds depend only on
+  ``(n, chunk_size, seed)``, never on the worker count;
+- the stream is reproducible serially by running ``NumpyEngine`` chunk by
+  chunk over the same layout and spawned seeds;
+- a crashed worker poisons the pool, unfinished chunks are retried once on
+  a fresh pool, and a second crash surfaces as ``SamplingError``;
+- sample budgets and deadlines raise their dedicated errors, both on the
+  engine and through the ambient ``EvaluationConfig``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeadlineExceeded,
+    SampleBudgetExceeded,
+    SamplingError,
+    Uncertain,
+    evaluation_config,
+)
+from repro.core.engines import NumpyEngine, get_engine
+from repro.dists import Gaussian
+from repro.dists.base import Distribution
+from repro.runtime.parallel import (
+    MIN_CHUNK,
+    ParallelEngine,
+    chunk_layout,
+    spawn_chunk_seeds,
+)
+
+
+def diamond() -> Uncertain:
+    """The fig08 dependence diamond ``(y + x) + x`` over Gaussian leaves."""
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Gaussian(0.0, 1.0), label="Y")
+    return (y + x) + x
+
+
+def chunked_numpy_reference(plan, n, seed, chunk_size=None) -> np.ndarray:
+    """Serial reproduction of the parallel stream: NumpyEngine chunk by chunk."""
+    chunks = chunk_layout(n, chunk_size)
+    seeds = spawn_chunk_seeds(np.random.default_rng(seed), len(chunks))
+    inner = NumpyEngine()
+    return np.concatenate(
+        [
+            inner.run(plan, size, np.random.default_rng(child))[plan.root_slot]
+            for size, child in zip(chunks, seeds)
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Crash injection.  The distribution must be picklable (it ships to workers
+# inside the plan payload), so it lives at module level and its crash switch
+# is a sentinel file: "once" mode deletes the sentinel before dying, so the
+# retry on a fresh pool succeeds; "always" mode leaves it in place.
+# ---------------------------------------------------------------------------
+
+
+class CrashingGaussian(Distribution):
+    def __init__(self, sentinel: str, mode: str = "once") -> None:
+        self.sentinel = sentinel
+        self.mode = mode
+
+    def sample_n(self, n, rng):
+        if os.path.exists(self.sentinel):
+            if self.mode == "once":
+                try:
+                    os.unlink(self.sentinel)
+                except FileNotFoundError:
+                    # A sibling worker raced us to the crash; sample normally.
+                    return rng.normal(0.0, 1.0, size=n)
+            os._exit(1)  # hard worker death: no exception, no cleanup
+        return rng.normal(0.0, 1.0, size=n)
+
+
+class SleepyGaussian(Distribution):
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+
+    def sample_n(self, n, rng):
+        time.sleep(self.delay_s)
+        return rng.normal(0.0, 1.0, size=n)
+
+
+class TestChunkLayout:
+    def test_adaptive_sizing_floors_at_min_chunk(self):
+        assert chunk_layout(10) == [10]
+        assert chunk_layout(MIN_CHUNK) == [MIN_CHUNK]
+        assert chunk_layout(MIN_CHUNK + 1) == [MIN_CHUNK, 1]
+
+    def test_layout_is_worker_independent(self):
+        # Nothing about the layout may consult worker count: same n, same
+        # layout, regardless of how the engine was configured.
+        assert chunk_layout(1_000_000) == chunk_layout(1_000_000)
+        assert sum(chunk_layout(1_000_000)) == 1_000_000
+        assert sum(chunk_layout(123_457, 1000)) == 123_457
+
+    def test_explicit_chunk_size(self):
+        assert chunk_layout(10, 4) == [4, 4, 2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_layout(0)
+        with pytest.raises(ValueError):
+            chunk_layout(10, 0)
+
+    def test_spawned_seeds_are_reproducible(self):
+        a = spawn_chunk_seeds(np.random.default_rng(3), 4)
+        b = spawn_chunk_seeds(np.random.default_rng(3), 4)
+        assert [s.generate_state(2).tolist() for s in a] == [
+            s.generate_state(2).tolist() for s in b
+        ]
+
+
+class TestDeterminism:
+    N = 20_000
+    CHUNK = 1_024  # small chunks so modest n still exercises the pool
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return diamond().plan
+
+    def run_with_workers(self, plan, k):
+        engine = ParallelEngine(workers=k, chunk_size=self.CHUNK)
+        try:
+            values = engine.run(plan, self.N, np.random.default_rng(42))
+            return values[plan.root_slot]
+        finally:
+            engine.shutdown()
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_bit_identical_across_worker_counts(self, plan, k):
+        serial = self.run_with_workers(plan, 1)
+        parallel = self.run_with_workers(plan, k)
+        assert np.array_equal(serial, parallel)
+
+    def test_matches_chunked_numpy_reference(self, plan):
+        parallel = self.run_with_workers(plan, 2)
+        reference = chunked_numpy_reference(plan, self.N, 42, self.CHUNK)
+        assert np.array_equal(parallel, reference)
+
+    def test_distribution_is_correct(self, plan):
+        # (y + x) + x has variance 1 + 4 = 5.
+        values = self.run_with_workers(plan, 2)
+        assert len(values) == self.N
+        assert np.var(values) == pytest.approx(5.0, rel=0.1)
+        assert np.mean(values) == pytest.approx(0.0, abs=0.1)
+
+    def test_repeat_runs_advance_the_stream(self, plan):
+        # Two batches through one generator must not repeat samples.
+        engine = ParallelEngine(workers=2, chunk_size=self.CHUNK)
+        try:
+            rng = np.random.default_rng(7)
+            first = engine.run(plan, self.N, rng)[plan.root_slot]
+            second = engine.run(plan, self.N, rng)[plan.root_slot]
+            assert not np.array_equal(first, second)
+        finally:
+            engine.shutdown()
+
+    def test_small_batches_stay_in_process(self, plan):
+        # An SPRT-sized batch is one sub-MIN_CHUNK chunk: never shipped.
+        engine = ParallelEngine(workers=2)
+        try:
+            values = engine.run(plan, 10, np.random.default_rng(0))
+            assert len(values[plan.root_slot]) == 10
+            assert engine._executor is None  # pool never built
+        finally:
+            engine.shutdown()
+
+
+class TestUnpicklablePlans:
+    def test_lambda_plan_warns_and_falls_back(self):
+        from repro.dists import FunctionDistribution
+
+        base = Uncertain(
+            FunctionDistribution(
+                lambda rng: rng.normal(),
+                fn_n=lambda n, rng: rng.normal(0.0, 1.0, size=n),
+            )
+        )
+        value = base + 1.0
+        engine = ParallelEngine(workers=2, chunk_size=256)
+        try:
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                out = engine.run(value.plan, 2_000, np.random.default_rng(5))
+            root = out[value.plan.root_slot]
+            # The fallback keeps the sharded stream definition.
+            reference = chunked_numpy_reference(value.plan, 2_000, 5, 256)
+            assert np.array_equal(root, reference)
+        finally:
+            engine.shutdown()
+
+
+class TestCrashRecovery:
+    def test_crashed_chunks_are_retried_on_a_fresh_pool(self, tmp_path):
+        sentinel = tmp_path / "crash-once"
+        sentinel.touch()
+        value = Uncertain(CrashingGaussian(str(sentinel), mode="once")) + 0.0
+        engine = ParallelEngine(workers=2, chunk_size=512, mp_context="fork")
+        try:
+            out = engine.run(value.plan, 4_096, np.random.default_rng(11))
+            root = out[value.plan.root_slot]
+            assert len(root) == 4_096
+            assert not sentinel.exists()
+            # Retried chunks reuse their original seeds, so the recovered
+            # batch still equals the serial reference.
+            assert np.array_equal(
+                root, chunked_numpy_reference(value.plan, 4_096, 11, 512)
+            )
+        finally:
+            engine.shutdown()
+
+    def test_persistent_crash_raises_sampling_error(self, tmp_path):
+        sentinel = tmp_path / "crash-always"
+        sentinel.touch()
+        value = Uncertain(CrashingGaussian(str(sentinel), mode="always")) + 0.0
+        engine = ParallelEngine(workers=2, chunk_size=512, mp_context="fork")
+        try:
+            with pytest.raises(SamplingError, match="crashed the worker pool"):
+                engine.run(value.plan, 4_096, np.random.default_rng(11))
+        finally:
+            engine.shutdown()
+            sentinel.unlink(missing_ok=True)
+
+
+class TestBudgetsAndDeadlines:
+    def test_engine_sample_budget(self):
+        plan = diamond().plan
+        engine = ParallelEngine(workers=1, sample_budget=1_000)
+        try:
+            engine.run(plan, 800, np.random.default_rng(0))
+            with pytest.raises(SampleBudgetExceeded):
+                engine.run(plan, 300, np.random.default_rng(0))
+            assert engine.samples_drawn == 800
+        finally:
+            engine.shutdown()
+
+    def test_engine_deadline(self):
+        value = Uncertain(SleepyGaussian(0.4)) + 0.0
+        engine = ParallelEngine(
+            workers=2, chunk_size=512, deadline=0.05, mp_context="fork"
+        )
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.run(value.plan, 4_096, np.random.default_rng(0))
+        finally:
+            engine.shutdown()
+
+    def test_config_sample_budget_applies_to_every_draw_path(self):
+        value = diamond()
+        with evaluation_config(sample_budget=1_000):
+            value.samples(900)
+            with pytest.raises(SampleBudgetExceeded):
+                value.samples(200)
+
+    def test_config_deadline_bounds_the_block(self):
+        value = diamond()
+        with evaluation_config(deadline=1e-6):
+            time.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                value.samples(10)
+
+
+class TestEngineSelection:
+    def test_parallel_engine_is_registered(self):
+        engine = get_engine("parallel")
+        assert isinstance(engine, ParallelEngine)
+
+    def test_config_engine_routes_samples_through_the_pool_model(self):
+        value = diamond()
+        with evaluation_config(engine="parallel", rng=np.random.default_rng(21)):
+            via_config = value.samples(MIN_CHUNK + 10)
+        reference = chunked_numpy_reference(value.plan, MIN_CHUNK + 10, 21)
+        assert np.array_equal(via_config, reference)
+
+    def test_per_call_engine_override(self):
+        value = diamond()
+        out = value.samples(MIN_CHUNK + 10, rng=33, engine="parallel")
+        assert np.array_equal(
+            out, chunked_numpy_reference(value.plan, MIN_CHUNK + 10, 33)
+        )
