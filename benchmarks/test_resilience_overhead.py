@@ -1,0 +1,89 @@
+"""Overhead benchmark: the resilience layer must be ~free when quiet.
+
+The instrumented ``ExecutionEngine.sample`` path now carries the
+numerical-health hook (``on_nonfinite``).  Under default policies
+(``"propagate"``, no metrics sink, no tracer) it takes the fast exit:
+one config read, zero per-row work.  This bench times that path against
+the raw ``engine.run`` + root-slot read on the fig08 dependence diamond
+and asserts the median overhead stays under 5%, writing the honest
+numbers to ``BENCH_resilience.json`` at the repo root either way.
+
+Medians over many repeats, not minima: the claim is about the typical
+draw, and the per-call cost being measured is small relative to timer
+jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Uncertain
+from repro.core.engines import NumpyEngine
+from repro.dists import Gaussian
+
+N = 100_000
+REPEATS = 31
+OVERHEAD_BUDGET = 0.05
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_resilience.json"
+
+
+def _fig08_plan():
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    y = Uncertain(Gaussian(0.0, 1.0), label="Y")
+    return ((y + x) + x).plan
+
+
+def _median_time(fn) -> float:
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_health_hook_overhead_is_negligible(benchmark):
+    plan = _fig08_plan()
+    engine = NumpyEngine()
+
+    def raw():
+        engine.run(plan, N, np.random.default_rng(0))[plan.root_slot]
+
+    def instrumented():
+        engine.sample(plan, N, np.random.default_rng(0))
+
+    # Same samples either way: the hook must not perturb the stream.
+    assert np.array_equal(
+        engine.run(plan, N, np.random.default_rng(7))[plan.root_slot],
+        engine.sample(plan, N, np.random.default_rng(7)),
+    )
+
+    raw(), instrumented()  # warm-up: numpy buffers, config cache
+    raw_s = _median_time(raw)
+    instrumented_s = benchmark.pedantic(
+        lambda: _median_time(instrumented), rounds=1, iterations=1
+    )
+
+    overhead = instrumented_s / raw_s - 1.0
+    result = {
+        "workload": {"plan": "fig08 (y + x) + x", "n": N, "repeats": REPEATS},
+        "policies": {"on_nonfinite": "propagate", "metrics": None, "tracer": None},
+        "run_seconds": raw_s,
+        "sample_seconds": instrumented_s,
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_BUDGET,
+        "within_budget": bool(overhead < OVERHEAD_BUDGET),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(json.dumps(result, indent=2))
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"default-policy sample path is {overhead:.1%} slower than raw run "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )

@@ -14,6 +14,10 @@ together with the substrates the paper's evaluation depends on:
   (engine, budgets, metrics), estimators, engine registry.
 - :mod:`repro.runtime` — the sampling runtime: the parallel process-pool
   engine, runtime metrics (``repro.runtime.stats()``), span tracing.
+- :mod:`repro.resilience` — the resilience layer: numerical-health
+  policies (``on_nonfinite``), flaky-source hardening
+  (:class:`~repro.resilience.ResilientSource`), and the deterministic
+  chaos harness (see ``docs/resilience.md``).
 - :mod:`repro.gps` — the GPS sensor model and GPS-Walking case study
   (Section 5.1).
 - :mod:`repro.life` — the noisy-sensor Game of Life case study (Section 5.2).
@@ -49,13 +53,20 @@ from repro.core.sampling import (
     SampleBudgetExceeded,
     SamplingError,
 )
+from repro.resilience import (
+    Inconclusive,
+    InconclusiveError,
+    NonFiniteError,
+    SourceFailure,
+)
 
 # The evaluate/runtime namespaces load after core: repro.runtime.parallel
 # imports repro.core and registers the "parallel" engine as a side effect.
 from repro import runtime
 from repro import evaluate
+from repro import resilience
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # the type
@@ -82,5 +93,11 @@ __all__ = [
     "SamplingError",
     "SampleBudgetExceeded",
     "DeadlineExceeded",
+    # resilience layer
+    "resilience",
+    "Inconclusive",
+    "InconclusiveError",
+    "NonFiniteError",
+    "SourceFailure",
     "__version__",
 ]

@@ -3,8 +3,11 @@
 ``UNC1xx`` rules are graph diagnostics produced by abstract interpretation
 of a compiled plan (:mod:`repro.analysis.diagnostics`); ``UNC2xx`` rules
 are source-level lints produced by the AST checker
-(:mod:`repro.analysis.lint`).  ``docs/analysis.md`` is the narrative
-catalogue; this module is the machine-readable one.
+(:mod:`repro.analysis.lint`); ``UNC3xx`` rules are runtime findings
+produced by probing a plan with actual samples
+(``Uncertain.diagnose(samples=...)`` via :mod:`repro.resilience`).
+``docs/analysis.md`` is the narrative catalogue; this module is the
+machine-readable one.
 """
 
 from __future__ import annotations
@@ -50,6 +53,12 @@ GRAPH_RULES = {
                    "construction time"),
 }
 
+RUNTIME_RULES = {
+    "UNC301": Rule("UNC301", WARNING,
+                   "plan slot produced non-finite samples in a runtime "
+                   "probe; see repro.resilience for policies"),
+}
+
 LINT_RULES = {
     "UNC201": Rule("UNC201", ERROR,
                    "float()/int()/bool() coercion collapses an uncertain "
@@ -66,4 +75,4 @@ LINT_RULES = {
                    opt_in=True),
 }
 
-ALL_RULES = {**GRAPH_RULES, **LINT_RULES}
+ALL_RULES = {**GRAPH_RULES, **RUNTIME_RULES, **LINT_RULES}

@@ -18,6 +18,11 @@ import numpy as np
 
 from repro.core.plan import PlanTelemetry
 from repro.core.sprt import HypothesisTest, SPRT
+from repro.resilience.policies import (
+    INCONCLUSIVE_POLICIES,
+    NONFINITE_POLICIES,
+    validate_policy,
+)
 from repro.rng import default_rng
 from repro.runtime import metrics as _metrics
 
@@ -95,6 +100,19 @@ class EvaluationConfig:
     estimator_samples: int = 1_000
     #: Default sample size for ``ci``/``histogram``/``evidence``.
     ci_samples: int = 10_000
+    #: Numerical-health policy applied by every engine batch:
+    #: ``"propagate"`` (IEEE semantics, the default), ``"warn"``,
+    #: ``"raise"``, or ``"resample"`` (redraw poisoned rows, bounded by
+    #: ``nonfinite_retries``).  See ``docs/resilience.md``.
+    on_nonfinite: str = "propagate"
+    #: Retry cap for ``on_nonfinite="resample"``; exhausting it raises
+    #: :class:`~repro.resilience.NonFiniteError`.
+    nonfinite_retries: int = 8
+    #: Policy for hypothesis tests that truncate without significance:
+    #: ``"best-guess"`` (the paper's ternary mapping, the default),
+    #: ``"warn"``, or ``"raise"``
+    #: (:class:`~repro.resilience.InconclusiveError`).
+    on_inconclusive: str = "best-guess"
     #: Running count of Bernoulli samples drawn by conditionals (telemetry
     #: for Figure 14(b)); reset with ``reset_sample_counter``.
     samples_drawn: int = 0
@@ -111,6 +129,14 @@ class EvaluationConfig:
         self.deadline_at = (
             monotonic() + self.deadline if self.deadline is not None else None
         )
+        validate_policy("on_nonfinite", self.on_nonfinite, NONFINITE_POLICIES)
+        validate_policy(
+            "on_inconclusive", self.on_inconclusive, INCONCLUSIVE_POLICIES
+        )
+        if self.nonfinite_retries < 0:
+            raise ValueError(
+                f"nonfinite_retries must be >= 0, got {self.nonfinite_retries}"
+            )
 
     def make_test(self, threshold: float) -> HypothesisTest:
         """Construct the hypothesis test for a conditional at ``threshold``."""

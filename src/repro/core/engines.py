@@ -24,6 +24,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.core import conditionals as _cond
 from repro.core.graph import Node
 from repro.core.plan import (
     OP_BINARY,
@@ -32,8 +33,19 @@ from repro.core.plan import (
     EvaluationPlan,
     PlanTelemetry,
 )
+from repro.resilience import health as _health
 from repro.runtime import metrics as _metrics
 from repro.runtime import trace as _trace
+
+#: Floating-point error handling for plan execution.  IEEE semantics are
+#: the language of Uncertain<T> — division by a zero-crossing support
+#: *means* inf, log of a boundary-crossing support *means* NaN — so the
+#: engines centralise the ``np.errstate`` suppression here instead of
+#: making every caller wrap draws in ``with np.errstate(divide="ignore")``.
+#: The static analyzer (rule UNC101/UNC102) remains the compile-time
+#: companion that flags where those values come from, and the resilience
+#: layer's ``on_nonfinite`` policy is the runtime one.
+_ERRSTATE = {"divide": "ignore", "invalid": "ignore", "over": "ignore"}
 
 
 class EngineError(RuntimeError):
@@ -89,13 +101,18 @@ class ExecutionEngine:
 
         This is the instrumented entry point: with a metrics sink active
         (the default) it attributes samples and wall time to this engine's
-        name, and with a tracer installed it records an
-        ``engine.<name>.sample`` span.  ``run`` stays raw for callers that
-        benchmark or need every slot.
+        name, with a tracer installed it records an
+        ``engine.<name>.sample`` span, and with a non-default
+        ``on_nonfinite`` policy it runs the numerical-health check of
+        :mod:`repro.resilience.health` over the batch (per-slot NaN/Inf
+        attribution, warn/raise/resample).  ``run`` stays raw for callers
+        that benchmark or need every slot.
         """
+        config = _cond.get_config()
+        propagate = config.on_nonfinite == "propagate"
         metrics = _metrics.active()
         tracer = _trace.get_tracer()
-        if metrics is None and tracer is None:
+        if metrics is None and tracer is None and propagate:
             return self.run(plan, n, rng, memo=memo, telemetry=telemetry)[
                 plan.root_slot
             ]
@@ -112,7 +129,11 @@ class ExecutionEngine:
                 n=int(n),
                 slots=len(plan.steps),
             )
-        return values[plan.root_slot]
+        if propagate:
+            return values[plan.root_slot]
+        return _health.enforce(
+            self, plan, values, n, rng, config, allow_resample=memo is None
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -151,23 +172,24 @@ class NumpyEngine(ExecutionEngine):
             # Hot path (the SPRT loop, expectations): run the specialized
             # program with bound callables and no bookkeeping.
             shape = (n,)
-            for entry in plan.program:
-                opcode = entry[0]
-                if opcode == OP_BINARY:
-                    _, op, slot, a, b, node = entry
-                    out = op(values[a], values[b])
-                elif opcode == OP_SOURCE:
-                    _, evaluate, slot, node = entry
-                    out = evaluate((), n, rng)
-                elif opcode == OP_UNARY:
-                    _, op, slot, a, node = entry
-                    out = op(values[a])
-                else:
-                    _, evaluate, slot, parent_slots, node = entry
-                    out = evaluate([values[i] for i in parent_slots], n, rng)
-                if type(out) is not np.ndarray or out.shape[:1] != shape:
-                    out = _check_batch(out, node, n)
-                values[slot] = out
+            with np.errstate(**_ERRSTATE):
+                for entry in plan.program:
+                    opcode = entry[0]
+                    if opcode == OP_BINARY:
+                        _, op, slot, a, b, node = entry
+                        out = op(values[a], values[b])
+                    elif opcode == OP_SOURCE:
+                        _, evaluate, slot, node = entry
+                        out = evaluate((), n, rng)
+                    elif opcode == OP_UNARY:
+                        _, op, slot, a, node = entry
+                        out = op(values[a])
+                    else:
+                        _, evaluate, slot, parent_slots, node = entry
+                        out = evaluate([values[i] for i in parent_slots], n, rng)
+                    if type(out) is not np.ndarray or out.shape[:1] != shape:
+                        out = _check_batch(out, node, n)
+                    values[slot] = out
             return values
         seeded = False
         if memo:
@@ -183,32 +205,34 @@ class NumpyEngine(ExecutionEngine):
         else:
             steps = plan.steps
         if telemetry is None:
-            for step in steps:
-                opcode = step.opcode
-                node = step.node
-                if opcode == OP_BINARY:
-                    a, b = step.parent_slots
-                    out = node.op(values[a], values[b])
-                elif opcode == OP_SOURCE:
-                    out = node.evaluate_batch((), n, rng)
-                elif opcode == OP_UNARY:
-                    out = node.op(values[step.parent_slots[0]])
-                else:
-                    out = node.evaluate_batch(
+            with np.errstate(**_ERRSTATE):
+                for step in steps:
+                    opcode = step.opcode
+                    node = step.node
+                    if opcode == OP_BINARY:
+                        a, b = step.parent_slots
+                        out = node.op(values[a], values[b])
+                    elif opcode == OP_SOURCE:
+                        out = node.evaluate_batch((), n, rng)
+                    elif opcode == OP_UNARY:
+                        out = node.op(values[step.parent_slots[0]])
+                    else:
+                        out = node.evaluate_batch(
+                            [values[i] for i in step.parent_slots], n, rng
+                        )
+                    if type(out) is not np.ndarray or out.shape[:1] != (n,):
+                        out = _check_batch(out, node, n)
+                    values[step.slot] = out
+        else:
+            with np.errstate(**_ERRSTATE):
+                for step in steps:
+                    start = perf_counter()
+                    out = step.node.evaluate_batch(
                         [values[i] for i in step.parent_slots], n, rng
                     )
-                if type(out) is not np.ndarray or out.shape[:1] != (n,):
-                    out = _check_batch(out, node, n)
-                values[step.slot] = out
-        else:
-            for step in steps:
-                start = perf_counter()
-                out = step.node.evaluate_batch(
-                    [values[i] for i in step.parent_slots], n, rng
-                )
-                out = _check_batch(out, step.node, n)
-                values[step.slot] = out
-                telemetry.record_node(step.kind, perf_counter() - start)
+                    out = _check_batch(out, step.node, n)
+                    values[step.slot] = out
+                    telemetry.record_node(step.kind, perf_counter() - start)
             telemetry.record_batch(n)
         if memo is not None:
             for step in steps:
@@ -230,22 +254,27 @@ class InterpreterEngine(ExecutionEngine):
     def run(self, plan, n, rng, memo=None, telemetry=None):
         local: dict[Node, np.ndarray] = dict(memo) if memo else {}
         stack: list[tuple[Node, bool]] = [(plan.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if node in local:
-                continue
-            if not expanded:
-                stack.append((node, True))
-                for parent in node.parents:
-                    if parent not in local:
-                        stack.append((parent, False))
-            else:
-                start = perf_counter() if telemetry is not None else 0.0
-                parent_values = [local[p] for p in node.parents]
-                out = _check_batch(node.evaluate_batch(parent_values, n, rng), node, n)
-                local[node] = out
-                if telemetry is not None:
-                    telemetry.record_node(type(node).__name__, perf_counter() - start)
+        with np.errstate(**_ERRSTATE):
+            while stack:
+                node, expanded = stack.pop()
+                if node in local:
+                    continue
+                if not expanded:
+                    stack.append((node, True))
+                    for parent in node.parents:
+                        if parent not in local:
+                            stack.append((parent, False))
+                else:
+                    start = perf_counter() if telemetry is not None else 0.0
+                    parent_values = [local[p] for p in node.parents]
+                    out = _check_batch(
+                        node.evaluate_batch(parent_values, n, rng), node, n
+                    )
+                    local[node] = out
+                    if telemetry is not None:
+                        telemetry.record_node(
+                            type(node).__name__, perf_counter() - start
+                        )
         if telemetry is not None:
             telemetry.record_batch(n)
         if memo is not None:

@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 from scipy import stats
 
+from repro.resilience.policies import Inconclusive
 from repro.runtime import metrics as _metrics
 from repro.runtime import trace as _trace
 
@@ -57,15 +58,25 @@ class TestDecision(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class TestResult:
-    """Outcome of a test run: decision plus sampling diagnostics."""
+    """Outcome of a test run: decision plus sampling diagnostics.
+
+    Truncated runs additionally carry a structured
+    :class:`~repro.resilience.Inconclusive` record in ``inconclusive``
+    (``None`` for significant decisions), so callers can inspect *how*
+    undecided the test was instead of only seeing the ternary decision.
+    """
 
     decision: TestDecision
     samples_used: int
     successes: int
+    inconclusive: Inconclusive | None = None
 
     @property
     def p_hat(self) -> float:
-        return self.successes / self.samples_used if self.samples_used else math.nan
+        """Empirical success fraction; 0.5 (maximum ignorance, never a
+        NaN that poisons downstream arithmetic) when no samples were
+        drawn."""
+        return self.successes / self.samples_used if self.samples_used else 0.5
 
     def __bool__(self) -> bool:
         return self.decision.as_bool()
@@ -186,7 +197,11 @@ class SPRT(HypothesisTest):
                 )
             if llr <= self.lower_bound:
                 return TestResult(TestDecision.ACCEPT_NULL, total, successes), steps
-        return TestResult(TestDecision.INCONCLUSIVE, total, successes), steps
+        outcome = Inconclusive(self.threshold, total, successes, self.max_samples)
+        return (
+            TestResult(TestDecision.INCONCLUSIVE, total, successes, outcome),
+            steps,
+        )
 
 
 class FixedSampleTest(HypothesisTest):
@@ -232,7 +247,12 @@ class FixedSampleTest(HypothesisTest):
             decision = TestDecision.ACCEPT_NULL
         else:
             decision = TestDecision.INCONCLUSIVE
-        return TestResult(decision, self.n, successes), 1
+        outcome = (
+            Inconclusive(self.threshold, self.n, successes, self.n)
+            if decision is TestDecision.INCONCLUSIVE
+            else None
+        )
+        return TestResult(decision, self.n, successes, outcome), 1
 
 
 class GroupSequentialTest(HypothesisTest):
@@ -293,4 +313,8 @@ class GroupSequentialTest(HypothesisTest):
                 )
             if z <= -self._z_crit:
                 return TestResult(TestDecision.ACCEPT_NULL, total, successes), steps
-        return TestResult(TestDecision.INCONCLUSIVE, total, successes), steps
+        outcome = Inconclusive(self.threshold, total, successes, self.max_samples)
+        return (
+            TestResult(TestDecision.INCONCLUSIVE, total, successes, outcome),
+            steps,
+        )

@@ -17,6 +17,7 @@ positives against false negatives.
 from __future__ import annotations
 
 import operator
+import warnings
 from typing import Any, Callable
 
 import numpy as np
@@ -32,11 +33,14 @@ from repro.core.graph import (
 )
 from repro.core.plan import EvaluationPlan, compile_plan
 from repro.core.sampling import SampleContext, _execute_plan
-from repro.core.sprt import HypothesisTest, TestResult
+from repro.core.sprt import HypothesisTest, TestDecision, TestResult
 from repro.dists.base import Distribution
 from repro.dists.empirical import Empirical
 from repro.dists.sampling_function import FunctionDistribution
+from repro.resilience.policies import InconclusiveError, InconclusiveWarning
 from repro.rng import ensure_rng
+from repro.runtime import metrics as _metrics
+from repro.runtime import trace as _trace
 
 
 def _as_node(value: Any) -> Node:
@@ -334,8 +338,8 @@ class Uncertain:
 
         return condition(self, evidence, **kwargs)
 
-    def diagnose(self) -> list:
-        """Static diagnostics for this value's Bayesian network.
+    def diagnose(self, samples: int = 0, rng=None) -> list:
+        """Diagnostics for this value's Bayesian network.
 
         Runs the interval abstract interpreter of :mod:`repro.analysis`
         over the compiled plan and returns the
@@ -343,10 +347,56 @@ class Uncertain:
         zero-crossing supports, statically decided comparisons,
         foldable constant sub-DAGs, and friends — without drawing a
         single sample.  See ``docs/analysis.md`` for the rule catalogue.
+
+        With ``samples > 0``, additionally executes a probe batch of
+        that many joint samples and appends one runtime **UNC301**
+        diagnostic per plan slot that introduced NaN/Inf values,
+        attributed by :func:`repro.resilience.attribute_nonfinite`.
+        The probe uses its own deterministic RNG (seed 0 unless ``rng``
+        is given) so diagnosing never perturbs the ambient sample
+        stream.
         """
         from repro.analysis.diagnostics import analyze_plan
 
-        return analyze_plan(self.plan)
+        diagnostics = list(analyze_plan(self.plan))
+        if samples:
+            diagnostics.extend(self._runtime_diagnostics(int(samples), rng))
+        return diagnostics
+
+    def _runtime_diagnostics(self, n: int, rng) -> list:
+        """Probe ``n`` joint samples and report UNC301 non-finite findings."""
+        from repro.analysis.diagnostics import Diagnostic
+        from repro.analysis.rules import ALL_RULES
+        from repro.core.engines import get_engine
+        from repro.resilience import health as _health
+
+        if n <= 0:
+            raise ValueError(f"probe sample size must be positive, got {n}")
+        plan = self.plan
+        values = get_engine("numpy").run(
+            plan, n, ensure_rng(rng if rng is not None else 0)
+        )
+        rule = ALL_RULES["UNC301"]
+        out = []
+        for attr in _health.attribute_nonfinite(plan, values):
+            step = plan.steps[attr.slot]
+            out.append(
+                Diagnostic(
+                    rule=rule.id,
+                    severity=rule.severity,
+                    message=f"{attr.describe()} in a probe of {n} joint sample(s)",
+                    slot=attr.slot,
+                    node_uid=step.node.uid,
+                    node_label=step.node.label,
+                    data={
+                        "rows": attr.rows,
+                        "first_row": attr.first_row,
+                        "kind": attr.kind,
+                        "probe_samples": n,
+                    },
+                )
+            )
+        return out
 
     def to_empirical(self, n: int = 10_000, rng=None) -> "Uncertain":
         """Freeze this computation into a fixed-pool empirical leaf.
@@ -446,7 +496,43 @@ class UncertainBool(Uncertain):
 
         result = test.run(draw)
         config.record(result.samples_used)
+        if result.decision is TestDecision.INCONCLUSIVE:
+            self._apply_inconclusive_policy(config, result)
         return result
+
+    @staticmethod
+    def _apply_inconclusive_policy(config, result: TestResult) -> None:
+        """Apply ``config.on_inconclusive`` to a truncated test result.
+
+        ``"best-guess"`` keeps the paper's ternary mapping (inconclusive
+        branches ``False``); ``"warn"`` raises an
+        :class:`~repro.resilience.InconclusiveWarning`; ``"raise"`` turns
+        the truncation into an :class:`~repro.resilience.InconclusiveError`
+        carrying the structured :class:`~repro.resilience.Inconclusive`
+        outcome.  Every truncation is counted in the runtime metrics and
+        traced, whatever the policy.
+        """
+        policy = config.on_inconclusive
+        outcome = result.inconclusive
+        sink = _metrics.active()
+        if sink is not None:
+            sink.record_inconclusive(policy)
+        _trace.event(
+            "test.inconclusive",
+            policy=policy,
+            samples=result.samples_used,
+            p_hat=result.p_hat,
+            threshold=outcome.threshold if outcome is not None else None,
+        )
+        message = (
+            outcome.describe()
+            if outcome is not None
+            else f"hypothesis test inconclusive after {result.samples_used} samples"
+        )
+        if policy == "warn":
+            warnings.warn(InconclusiveWarning(message), stacklevel=4)
+        elif policy == "raise":
+            raise InconclusiveError(message, outcome)
 
     def evidence(self, n: int | None = None, rng=None) -> float:
         """Direct Monte-Carlo estimate of Pr[condition] from ``n`` samples.

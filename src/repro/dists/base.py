@@ -94,6 +94,22 @@ class Distribution(abc.ABC):
         """Monte-Carlo estimate of the mean from ``n`` samples."""
         return float(np.mean(self.sample_n(n, rng)))
 
+    def resilient(self, **kwargs) -> "Distribution":
+        """Wrap this distribution in a fault-tolerant sampling shell.
+
+        Returns a :class:`~repro.resilience.ResilientSource` whose primary
+        is this distribution; keyword arguments (``fallback``,
+        ``max_retries``, ``backoff_s``, ``breaker``, ...) pass through.
+        Convenience for hardening a flaky sensor/network-backed source::
+
+            gps = FunctionDistribution(read_fix).resilient(
+                fallback=last_good_fix, max_retries=3
+            )
+        """
+        from repro.resilience.source import ResilientSource
+
+        return ResilientSource(self, **kwargs)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fields = getattr(self, "__dict__", {})
         inner = ", ".join(f"{k}={v!r}" for k, v in fields.items() if not k.startswith("_"))

@@ -19,12 +19,24 @@ class Empirical(Distribution):
 
     discrete = True
 
-    def __init__(self, pool: Sequence[Any]) -> None:
+    def __init__(self, pool: Sequence[Any], allow_nonfinite: bool = False) -> None:
         if len(pool) == 0:
             raise ValueError("Empirical needs a non-empty sample pool")
         arr = np.asarray(pool)
         if arr.dtype == object and arr.ndim != 1:
             raise ValueError("object pools must be one-dimensional")
+        # A NaN/Inf smuggled into the pool resurfaces in *every* downstream
+        # computation (the Section 2 "silently compounding error" bug), so
+        # numeric pools are screened at construction time unless the caller
+        # explicitly opts in.
+        if not allow_nonfinite and arr.dtype.kind in "fc":
+            bad = int(np.count_nonzero(~np.isfinite(arr)))
+            if bad:
+                raise ValueError(
+                    f"Empirical pool contains {bad} non-finite value(s) out "
+                    f"of {arr.size}; clean the data or pass "
+                    "allow_nonfinite=True to keep them"
+                )
         self.pool = arr
 
     def __len__(self) -> int:

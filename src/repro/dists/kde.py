@@ -30,10 +30,26 @@ def silverman_bandwidth(data: np.ndarray) -> float:
 class KernelDensity(Distribution):
     """Gaussian KDE over a 1-D dataset."""
 
-    def __init__(self, data: Sequence[float], bandwidth: float | None = None) -> None:
+    def __init__(
+        self,
+        data: Sequence[float],
+        bandwidth: float | None = None,
+        allow_nonfinite: bool = False,
+    ) -> None:
         arr = np.asarray(data, dtype=float)
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("KernelDensity needs a non-empty 1-D dataset")
+        # Non-finite observations poison the bandwidth rule and every
+        # sample drawn near them; screen at construction (same contract as
+        # Empirical).
+        if not allow_nonfinite:
+            bad = int(np.count_nonzero(~np.isfinite(arr)))
+            if bad:
+                raise ValueError(
+                    f"KernelDensity dataset contains {bad} non-finite "
+                    f"value(s) out of {arr.size}; clean the data or pass "
+                    "allow_nonfinite=True to keep them"
+                )
         self.data = arr
         self.bandwidth = (
             float(bandwidth) if bandwidth is not None else silverman_bandwidth(arr)

@@ -25,6 +25,16 @@ from repro.dists.sampling_function import FunctionDistribution
 from repro.gps.geo import GeoCoordinate
 
 
+class GpsDropout(RuntimeError):
+    """The receiver failed to produce a fix (simulated signal loss).
+
+    Raised by :meth:`GpsSensor.measure` when a dropout-prone sensor
+    (``dropout_probability > 0``) loses signal; the resilience layer's
+    :class:`~repro.resilience.ResilientSource` treats it as a retryable
+    source failure (see :meth:`GpsSensor.resilient_location`).
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class GpsFix:
     """What a conventional GPS API returns: a point plus an accuracy radius.
@@ -45,6 +55,20 @@ def rayleigh_scale(epsilon_m: float) -> float:
     return epsilon_m * SCALE_FROM_95CI
 
 
+def _fix_samples(fix: GpsFix, n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` posterior draws (GeoCoordinate objects) around a fix."""
+    rho = rayleigh_scale(fix.horizontal_accuracy)
+    centre = fix.coordinate
+    radii = rng.rayleigh(rho, size=n)
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=n)
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = centre.offset_m(
+            radii[i] * math.cos(angles[i]), radii[i] * math.sin(angles[i])
+        )
+    return out
+
+
 def gps_posterior(fix: GpsFix) -> Uncertain:
     """Figure 12's ``GPS.GetLocation``: the location posterior for a fix.
 
@@ -60,14 +84,7 @@ def gps_posterior(fix: GpsFix) -> Uncertain:
         return centre.offset_m(radius * math.cos(angle), radius * math.sin(angle))
 
     def sample_many(n: int, rng: np.random.Generator) -> np.ndarray:
-        radii = rng.rayleigh(rho, size=n)
-        angles = rng.uniform(0.0, 2.0 * math.pi, size=n)
-        out = np.empty(n, dtype=object)
-        for i in range(n):
-            out[i] = centre.offset_m(
-                radii[i] * math.cos(angles[i]), radii[i] * math.sin(angles[i])
-            )
-        return out
+        return _fix_samples(fix, n, rng)
 
     dist = FunctionDistribution(sample_one, fn_n=sample_many)
     return Uncertain(dist, label=f"GPS@{centre.latitude:.5f},{centre.longitude:.5f}")
@@ -126,6 +143,10 @@ class GpsSensor:
     - ``honest_accuracy`` — when True, the reported horizontal accuracy
       grows during glitches (a good receiver knows it is struggling);
       when False the sensor always reports ``epsilon_m``.
+    - ``dropout_probability`` — per-fix chance that the receiver produces
+      no fix at all (urban canyon, tunnel): ``measure`` raises
+      :class:`GpsDropout`.  See :meth:`resilient_location` for the
+      hardened call that retries and degrades to the last good fix.
     """
 
     def __init__(
@@ -137,6 +158,7 @@ class GpsSensor:
         glitch_scale_m: float = 25.0,
         glitch_duration_s: float = 2.0,
         honest_accuracy: bool = True,
+        dropout_probability: float = 0.0,
     ) -> None:
         if epsilon_m <= 0:
             raise ValueError(f"epsilon_m must be positive, got {epsilon_m}")
@@ -146,12 +168,17 @@ class GpsSensor:
             raise ValueError(
                 f"glitch_probability must be in [0, 1], got {glitch_probability}"
             )
+        if not 0.0 <= dropout_probability < 1.0:
+            raise ValueError(
+                f"dropout_probability must be in [0, 1), got {dropout_probability}"
+            )
         self.epsilon_m = float(epsilon_m)
         self.correlation = float(correlation)
         self.glitch_probability = float(glitch_probability)
         self.glitch_scale_m = float(glitch_scale_m)
         self.glitch_duration_s = float(glitch_duration_s)
         self.honest_accuracy = honest_accuracy
+        self.dropout_probability = float(dropout_probability)
         self._rho = rayleigh_scale(epsilon_m)
         from repro.rng import ensure_rng
 
@@ -164,6 +191,7 @@ class GpsSensor:
         self._glitch_offset = (0.0, 0.0)
         self._glitch_until = -math.inf
         self._last_timestamp: float | None = None
+        self._last_fix: GpsFix | None = None
 
     def _step_error(self, timestamp: float) -> tuple[float, float, float]:
         """Advance the error process; return (east_err, north_err, epsilon)."""
@@ -193,17 +221,80 @@ class GpsSensor:
         return east, north, epsilon
 
     def measure(self, true_location: GeoCoordinate, timestamp: float = 0.0) -> GpsFix:
-        """One noisy fix of a true location."""
+        """One noisy fix of a true location (raises :class:`GpsDropout`
+        when a dropout-prone sensor loses signal)."""
+        # Guarded draw: a sensor with dropout_probability == 0 consumes no
+        # extra randomness, so existing sample streams are unchanged.
+        if self.dropout_probability and self._rng.random() < self.dropout_probability:
+            self._last_timestamp = timestamp
+            raise GpsDropout(
+                f"no GPS fix at t={timestamp:g} (simulated signal dropout)"
+            )
         east, north, epsilon = self._step_error(timestamp)
         measured = true_location.offset_m(east, north)
         self._last_timestamp = timestamp
-        return GpsFix(measured, epsilon, timestamp)
+        fix = GpsFix(measured, epsilon, timestamp)
+        self._last_fix = fix
+        return fix
 
     def get_location(
         self, true_location: GeoCoordinate, timestamp: float = 0.0
     ) -> Uncertain:
         """Measure, then return the posterior distribution for the fix."""
         return gps_posterior(self.measure(true_location, timestamp))
+
+    def resilient_location(
+        self,
+        true_location: GeoCoordinate,
+        timestamp: float = 0.0,
+        accuracy_inflation: float = 2.0,
+        **resilient_kwargs,
+    ) -> Uncertain:
+        """A dropout-hardened :meth:`get_location`.
+
+        Wraps a live fix source (every batch re-measures, so dropouts can
+        strike any draw) in a :class:`~repro.resilience.ResilientSource`:
+        dropouts are retried, repeated failure trips the breaker, and the
+        declared fallback is the posterior around the *last good fix* with
+        its accuracy radius inflated by ``accuracy_inflation`` — the
+        honest degraded answer ("I am probably still near where I last
+        saw myself, but less sure").  Keyword arguments (``max_retries``,
+        ``breaker``, ``seed``, ...) pass through to ``ResilientSource``.
+
+        If the primary is unavailable and the sensor has never produced a
+        fix, the fallback itself raises :class:`GpsDropout` — there is
+        nothing to degrade to.
+        """
+        from repro.resilience.source import ResilientSource
+
+        sensor = self
+
+        def fresh_samples(n: int, rng: np.random.Generator) -> np.ndarray:
+            return _fix_samples(sensor.measure(true_location, timestamp), n, rng)
+
+        def degraded_samples(n: int, rng: np.random.Generator) -> np.ndarray:
+            fix = sensor._last_fix
+            if fix is None:
+                raise GpsDropout(
+                    "GPS degraded with no previous fix to fall back on"
+                )
+            inflated = GpsFix(
+                fix.coordinate,
+                fix.horizontal_accuracy * accuracy_inflation,
+                fix.timestamp,
+            )
+            return _fix_samples(inflated, n, rng)
+
+        primary = FunctionDistribution(
+            lambda rng: fresh_samples(1, rng)[0], fn_n=fresh_samples
+        )
+        fallback = FunctionDistribution(
+            lambda rng: degraded_samples(1, rng)[0], fn_n=degraded_samples
+        )
+        resilient_kwargs.setdefault("failure_types", (GpsDropout,))
+        resilient_kwargs.setdefault("fallback", fallback)
+        source = ResilientSource(primary, **resilient_kwargs)
+        return Uncertain(source, label="GPS(resilient)")
 
     @property
     def error_magnitude_dist(self) -> Rayleigh:

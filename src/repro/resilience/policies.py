@@ -1,0 +1,101 @@
+"""Policy vocabulary and exception taxonomy for the resilience layer.
+
+This module is deliberately import-light (stdlib only): ``repro.core.sprt``
+and ``repro.core.engines`` consult it, so it can depend on nothing in
+``repro`` — the same layering rule as :mod:`repro.runtime.metrics`.
+
+Two policy axes are defined (see ``docs/resilience.md`` for the catalogue):
+
+- ``on_nonfinite`` — what an engine does when a batch contains NaN/Inf:
+  ``"propagate"`` (IEEE semantics, today's behaviour and the default),
+  ``"warn"``, ``"raise"``, or ``"resample"`` (redraw the poisoned rows,
+  bounded by ``EvaluationConfig.nonfinite_retries``).
+- ``on_inconclusive`` — what a conditional does when its hypothesis test
+  truncates without significance: ``"best-guess"`` (the paper's ternary
+  mapping to ``False``, today's behaviour and the default), ``"warn"``,
+  or ``"raise"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Valid ``EvaluationConfig.on_nonfinite`` selections.
+NONFINITE_POLICIES = ("propagate", "warn", "raise", "resample")
+#: Valid ``EvaluationConfig.on_inconclusive`` selections.
+INCONCLUSIVE_POLICIES = ("best-guess", "warn", "raise")
+
+
+def validate_policy(name: str, value: str, allowed: tuple[str, ...]) -> str:
+    if value not in allowed:
+        raise ValueError(
+            f"{name} must be one of {allowed}, got {value!r}"
+        )
+    return value
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures surfaced by the resilience layer."""
+
+
+class NonFiniteError(ResilienceError):
+    """Raised under ``on_nonfinite="raise"`` (or when ``"resample"``
+    exhausts its retry cap) with per-slot attribution in the message."""
+
+    def __init__(self, message: str, attributions: tuple = ()) -> None:
+        super().__init__(message)
+        #: tuple of :class:`~repro.resilience.health.NonFiniteAttribution`.
+        self.attributions = tuple(attributions)
+
+
+class NonFiniteWarning(UserWarning):
+    """Issued under ``on_nonfinite="warn"`` when a batch contains NaN/Inf."""
+
+
+class SourceFailure(ResilienceError):
+    """A :class:`~repro.resilience.source.ResilientSource` ran out of
+    options: retries exhausted (or breaker open) with no fallback."""
+
+
+class InconclusiveError(ResilienceError):
+    """Raised under ``on_inconclusive="raise"`` when a hypothesis test
+    truncates without reaching significance."""
+
+    def __init__(self, message: str, outcome: "Inconclusive | None" = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
+class InconclusiveWarning(UserWarning):
+    """Issued under ``on_inconclusive="warn"``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Inconclusive:
+    """Structured record of a truncated hypothesis test.
+
+    Attached to :class:`~repro.core.sprt.TestResult` (``result.inconclusive``)
+    whenever a test hits its sample-size bound inside the indifference
+    region, so callers can treat "undecided" as data instead of a silently
+    coerced boolean.
+    """
+
+    threshold: float
+    samples_used: int
+    successes: int
+    max_samples: int
+
+    @property
+    def p_hat(self) -> float:
+        """Point estimate at truncation (0.5 — maximum ignorance — when no
+        samples were drawn; see ``TestResult.p_hat``)."""
+        if self.samples_used == 0:
+            return 0.5
+        return self.successes / self.samples_used
+
+    def describe(self) -> str:
+        return (
+            f"test truncated at {self.samples_used}/{self.max_samples} samples "
+            f"with p_hat={self.p_hat:.4f} inside the indifference region "
+            f"around threshold={self.threshold}"
+        )

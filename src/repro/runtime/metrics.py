@@ -95,12 +95,44 @@ class RuntimeMetrics:
 
     def record_parallel(
         self, chunks: int = 0, retries: int = 0, crashes: int = 0,
-        fallbacks: int = 0,
+        fallbacks: int = 0, serial_rescues: int = 0,
     ) -> None:
         self.parallel_chunks += chunks
         self.parallel_retries += retries
         self.worker_crashes += crashes
         self.parallel_fallbacks += fallbacks
+        self.parallel_serial_rescues += serial_rescues
+
+    # -- resilience layer ---------------------------------------------------
+
+    def record_nonfinite(
+        self, policy: str, rows: int = 0, resamples: int = 0
+    ) -> None:
+        """One batch containing non-finite samples, handled under ``policy``."""
+        self.nonfinite_batches += 1
+        self.nonfinite_rows += int(rows)
+        self.nonfinite_resamples += int(resamples)
+        self.nonfinite_by_policy[policy] = (
+            self.nonfinite_by_policy.get(policy, 0) + 1
+        )
+
+    def record_source(
+        self, retries: int = 0, failures: int = 0, fallbacks: int = 0,
+        trips: int = 0, recoveries: int = 0,
+    ) -> None:
+        """ResilientSource events: retries, breaker trips, fallback draws."""
+        self.source_retries += retries
+        self.source_failures += failures
+        self.source_fallbacks += fallbacks
+        self.breaker_trips += trips
+        self.breaker_recoveries += recoveries
+
+    def record_inconclusive(self, policy: str) -> None:
+        """One truncated hypothesis test, handled under ``policy``."""
+        self.inconclusive_tests += 1
+        self.inconclusive_by_policy[policy] = (
+            self.inconclusive_by_policy.get(policy, 0) + 1
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -122,6 +154,18 @@ class RuntimeMetrics:
             self.parallel_retries = 0
             self.worker_crashes = 0
             self.parallel_fallbacks = 0
+            self.parallel_serial_rescues = 0
+            self.nonfinite_batches = 0
+            self.nonfinite_rows = 0
+            self.nonfinite_resamples = 0
+            self.nonfinite_by_policy: dict[str, int] = {}
+            self.source_retries = 0
+            self.source_failures = 0
+            self.source_fallbacks = 0
+            self.breaker_trips = 0
+            self.breaker_recoveries = 0
+            self.inconclusive_tests = 0
+            self.inconclusive_by_policy: dict[str, int] = {}
 
     def snapshot(self) -> dict:
         """A consistent, JSON-serialisable copy of every counter.
@@ -144,6 +188,8 @@ class RuntimeMetrics:
                     "sprt_steps": self.sprt_steps,
                     "samples": self.sprt_samples,
                     "by_kind": dict(self.tests_by_kind),
+                    "inconclusive": self.inconclusive_tests,
+                    "inconclusive_by_policy": dict(self.inconclusive_by_policy),
                 },
                 "expectations": {
                     "runs": self.expectations,
@@ -159,6 +205,20 @@ class RuntimeMetrics:
                     "retries": self.parallel_retries,
                     "worker_crashes": self.worker_crashes,
                     "serial_fallbacks": self.parallel_fallbacks,
+                    "serial_rescues": self.parallel_serial_rescues,
+                },
+                "health": {
+                    "nonfinite_batches": self.nonfinite_batches,
+                    "nonfinite_rows": self.nonfinite_rows,
+                    "resamples": self.nonfinite_resamples,
+                    "by_policy": dict(self.nonfinite_by_policy),
+                },
+                "sources": {
+                    "retries": self.source_retries,
+                    "failures": self.source_failures,
+                    "fallbacks": self.source_fallbacks,
+                    "breaker_trips": self.breaker_trips,
+                    "breaker_recoveries": self.breaker_recoveries,
                 },
             }
 

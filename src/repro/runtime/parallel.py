@@ -37,10 +37,13 @@ fall back to serial in-process execution with the *same* sharded seeding,
 preserving results, and warn once per plan.
 
 Failure handling: a worker crash (segfault, ``os._exit``, OOM kill)
-breaks the pool; every unfinished chunk is retried once on a freshly
-built pool, and a second failure surfaces as
-:class:`~repro.core.sampling.SamplingError`.  A per-run ``deadline`` and
-a cumulative ``sample_budget`` raise
+breaks the pool; every unfinished chunk is retried on a freshly built
+pool up to ``max_retries`` rounds.  Exhausting the retry budget either
+surfaces as :class:`~repro.core.sampling.SamplingError` (the default) or
+— with ``serial_fallback=True`` — rescues the still-failed chunks by
+running them serially in-process with their *original* spawned seeds, so
+the degraded batch is bit-identical to the healthy one.  A per-run
+``deadline`` and a cumulative ``sample_budget`` raise
 :class:`~repro.core.sampling.DeadlineExceeded` /
 :class:`~repro.core.sampling.SampleBudgetExceeded`.
 """
@@ -166,7 +169,15 @@ class ParallelEngine(ExecutionEngine):
         Name of the registered serial engine that executes each chunk.
     max_retries:
         Rounds of crash recovery per batch (default 1: failed chunks are
-        retried once on a fresh pool, then ``SamplingError``).
+        retried once on a fresh pool, then ``SamplingError`` — or the
+        serial rescue, see ``serial_fallback``).
+    serial_fallback:
+        When ``True``, exhausting ``max_retries`` degrades gracefully:
+        chunks that still have no result are executed serially
+        in-process with their original spawned seeds (preserving the
+        chunked RNG stream bit-for-bit), a ``RuntimeWarning`` is issued
+        and the rescue is counted in the runtime metrics.  Default
+        ``False`` keeps the fail-fast ``SamplingError``.
     sample_budget:
         Cumulative cap on samples this engine instance may draw;
         exceeding it raises ``SampleBudgetExceeded``.
@@ -186,6 +197,7 @@ class ParallelEngine(ExecutionEngine):
         chunk_size: int | None = None,
         inner: str = "numpy",
         max_retries: int = 1,
+        serial_fallback: bool = False,
         sample_budget: int | None = None,
         deadline: float | None = None,
         mp_context=None,
@@ -194,6 +206,7 @@ class ParallelEngine(ExecutionEngine):
         self.chunk_size = chunk_size
         self.inner = inner
         self.max_retries = int(max_retries)
+        self.serial_fallback = bool(serial_fallback)
         self.sample_budget = sample_budget
         self.deadline = deadline
         if isinstance(mp_context, str):
@@ -300,9 +313,9 @@ class ParallelEngine(ExecutionEngine):
                 for size, seed in zip(chunks, seeds)
             ]
             return parts[0] if len(parts) == 1 else np.concatenate(parts)
-        return self._dispatch(plan_id, payload, chunks, seeds, metric)
+        return self._dispatch(plan, plan_id, payload, chunks, seeds, metric)
 
-    def _dispatch(self, plan_id, payload, chunks, seeds, metric) -> np.ndarray:
+    def _dispatch(self, plan, plan_id, payload, chunks, seeds, metric) -> np.ndarray:
         deadline_at = None if self.deadline is None else monotonic() + self.deadline
         results: list = [None] * len(chunks)
         todo = list(range(len(chunks)))
@@ -348,12 +361,38 @@ class ParallelEngine(ExecutionEngine):
                     break
                 rounds += 1
                 if rounds > self.max_retries:
-                    raise SamplingError(
+                    if not self.serial_fallback:
+                        raise SamplingError(
+                            f"{len(failed)} sampling chunk(s) crashed the worker "
+                            f"pool {rounds} times (chunk indices {failed}); giving "
+                            "up after max_retries="
+                            f"{self.max_retries}"
+                        ) from last_error
+                    # Graceful degradation: run the still-failed chunks
+                    # serially in-process with their original spawned
+                    # seeds — the concatenated stream is bit-identical to
+                    # the one a healthy pool would have produced.
+                    warnings.warn(
                         f"{len(failed)} sampling chunk(s) crashed the worker "
-                        f"pool {rounds} times (chunk indices {failed}); giving "
-                        "up after max_retries="
-                        f"{self.max_retries}"
-                    ) from last_error
+                        f"pool {rounds} times; rescuing them serially "
+                        "in-process (serial_fallback=True preserves the "
+                        "chunked sample stream)",
+                        RuntimeWarning,
+                        stacklevel=5,
+                    )
+                    inner = get_engine(self.inner)
+                    for i in failed:
+                        results[i] = inner.run(
+                            plan, chunks[i], np.random.default_rng(seeds[i])
+                        )[plan.root_slot]
+                    if metric is not None:
+                        metric.record_parallel(serial_rescues=len(failed))
+                    _trace.event(
+                        "parallel.serial_rescue",
+                        chunks=len(failed),
+                        rounds=rounds,
+                    )
+                    break
                 todo = failed
             span_attrs["seconds"] = perf_counter() - start
             span_attrs["retry_rounds"] = rounds

@@ -205,3 +205,16 @@ def span(name: str, **attrs) -> Iterator[dict]:
     else:
         with tracer.span(name, **attrs) as span_attrs:
             yield span_attrs
+
+
+def event(name: str, **attrs) -> None:
+    """Record a point event (zero-duration span) on the active tracer.
+
+    The resilience layer uses these for retries, breaker transitions,
+    fallback draws, non-finite detections and inconclusive decisions —
+    things that *happen* rather than *take time*.  No-op when tracing is
+    off.
+    """
+    tracer = _active_tracer
+    if tracer is not None:
+        tracer.record(name, perf_counter(), 0.0, **attrs)

@@ -1,0 +1,240 @@
+"""Chaos harness: every injected fault is reproducible bit-for-bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DeadlineExceeded, Uncertain, evaluation_config
+from repro.dists import Gaussian
+from repro.dists.base import Distribution
+from repro.resilience import (
+    ChaosDistribution,
+    ChaosEngine,
+    InjectedFault,
+    ResilientSource,
+    arm_kill_sentinel,
+)
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.parallel import ParallelEngine
+
+from tests.runtime.test_parallel_engine import chunked_numpy_reference, diamond
+
+
+class TestChaosDistribution:
+    def test_nan_bursts_are_seed_reproducible(self):
+        def run():
+            dist = ChaosDistribution(Gaussian(0.0, 1.0), seed=13, nan_rate=0.5)
+            rng = np.random.default_rng(0)
+            return np.concatenate([dist.sample_n(32, rng) for _ in range(8)])
+
+        a, b = run(), run()
+        assert np.array_equal(a, b, equal_nan=True)
+        assert np.any(np.isnan(a))
+
+    def test_uncorrupted_rows_match_the_clean_run(self):
+        # The chaos generator is separate from the sampling generator, so
+        # rows the burst did not touch are exactly the clean run's rows.
+        clean = Gaussian(0.0, 1.0).sample_n(256, np.random.default_rng(4))
+        dirty = ChaosDistribution(
+            Gaussian(0.0, 1.0), seed=13, nan_rate=1.0, nan_burst=0.25
+        ).sample_n(256, np.random.default_rng(4))
+        bad = np.isnan(dirty)
+        assert bad.sum() == 64  # round(0.25 * 256)
+        assert np.array_equal(clean[~bad], dirty[~bad])
+
+    def test_injected_errors_fire_on_deterministic_call_indices(self):
+        def fault_calls(seed):
+            dist = ChaosDistribution(Gaussian(0.0, 1.0), seed=seed, error_rate=0.3)
+            rng = np.random.default_rng(0)
+            fired = []
+            for call in range(1, 21):
+                try:
+                    dist.sample_n(8, rng)
+                except InjectedFault:
+                    fired.append(call)
+            return fired
+
+        assert fault_calls(7) == fault_calls(7)
+        assert fault_calls(7) != fault_calls(8)
+        assert fault_calls(7), "error_rate=0.3 over 20 calls should fire"
+
+    def test_zero_rates_are_a_transparent_wrapper(self):
+        clean = Gaussian(0.0, 1.0).sample_n(64, np.random.default_rng(9))
+        wrapped = ChaosDistribution(Gaussian(0.0, 1.0), seed=1).sample_n(
+            64, np.random.default_rng(9)
+        )
+        assert np.array_equal(clean, wrapped)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nan_rate"):
+            ChaosDistribution(Gaussian(0, 1), nan_rate=1.5)
+        with pytest.raises(ValueError, match="nan_burst"):
+            ChaosDistribution(Gaussian(0, 1), nan_burst=0.0)
+
+    def test_chaos_plus_resilient_source_recovers(self):
+        # The harness exercising the hardening layer it was built to test:
+        # injected faults are absorbed by retries, and the stream remains
+        # reproducible because both sides are seeded.
+        def run():
+            flaky = ChaosDistribution(Gaussian(0.0, 1.0), seed=3, error_rate=0.4)
+            source = ResilientSource(
+                flaky, max_retries=4, failure_types=(InjectedFault,)
+            )
+            rng = np.random.default_rng(1)
+            out = np.concatenate([source.sample_n(16, rng) for _ in range(10)])
+            return out, source.retries
+
+        (a, retries_a), (b, retries_b) = run(), run()
+        assert np.array_equal(a, b)
+        assert retries_a == retries_b > 0
+
+    def test_chaos_plus_health_policy_repairs_bursts(self):
+        # nan_rate < 1 so some redraws are clean — a burst on *every* call
+        # (including the repairs) could never converge, by design.
+        flaky = ChaosDistribution(
+            Gaussian(0.0, 1.0), seed=5, nan_rate=0.5, nan_burst=0.25
+        )
+        value = Uncertain(flaky) + 0.0
+        with evaluation_config(on_nonfinite="resample", nonfinite_retries=16):
+            out = value.samples(256, rng=2)
+        assert np.all(np.isfinite(out))
+
+
+class TestChaosEngine:
+    def test_certain_error_rate_always_raises(self):
+        engine = ChaosEngine(error_rate=1.0, seed=0)
+        value = diamond()
+        with pytest.raises(InjectedFault, match="injected engine failure"):
+            value.samples(64, rng=0, engine=engine)
+
+    def test_latency_drives_deadline_enforcement(self):
+        engine = ChaosEngine(latency_s=0.05, seed=0)
+        value = diamond()
+        with evaluation_config(deadline=0.02):
+            value.samples(8, rng=0, engine=engine)  # stalls, then returns
+            with pytest.raises(DeadlineExceeded):
+                value.samples(8, rng=0, engine=engine)  # next draw is late
+
+    def test_faults_are_per_batch_and_reproducible(self):
+        def fault_batches(seed):
+            engine = ChaosEngine(error_rate=0.5, seed=seed)
+            value = diamond()
+            fired = []
+            for batch in range(1, 13):
+                try:
+                    value.samples(16, rng=batch, engine=engine)
+                except InjectedFault:
+                    fired.append(batch)
+            return fired
+
+        assert fault_batches(11) == fault_batches(11)
+        assert fault_batches(11), "error_rate=0.5 over 12 batches should fire"
+
+    def test_clean_batches_match_the_inner_engine(self):
+        engine = ChaosEngine(seed=0)  # no fault classes enabled
+        value = diamond()
+        via_chaos = value.samples(128, rng=6, engine=engine)
+        direct = value.samples(128, rng=6, engine="numpy")
+        assert np.array_equal(via_chaos, direct)
+
+
+class TestWorkerKillDeterminism:
+    N = 4_096
+    CHUNK = 512
+
+    def test_killed_worker_recovery_is_bit_identical(self, tmp_path):
+        # workers=1 runs chunks serially in the parent process, where an
+        # armed sentinel would kill the test itself — so the serial leg
+        # runs without the sentinel.  The contract is that the kill leg
+        # recovers to the *same* stream, because retried chunks reuse
+        # their original chunk seeds.
+        plan = (Uncertain(ChaosDistribution(Gaussian(0.0, 1.0), seed=1)) + 0.0).plan
+
+        def run(workers, sentinel=None):
+            dist = ChaosDistribution(
+                Gaussian(0.0, 1.0), seed=1, kill_sentinel=sentinel
+            )
+            value = Uncertain(dist) + 0.0
+            engine = ParallelEngine(
+                workers=workers, chunk_size=self.CHUNK, mp_context="fork"
+            )
+            try:
+                out = engine.run(value.plan, self.N, np.random.default_rng(17))
+                return out[value.plan.root_slot]
+            finally:
+                engine.shutdown()
+
+        serial = run(1)
+        sentinel = arm_kill_sentinel(tmp_path / "kill-once")
+        killed = run(2, sentinel=sentinel)
+        import os
+
+        assert not os.path.exists(sentinel)  # the kill actually fired
+        assert np.array_equal(serial, killed)
+        assert np.array_equal(
+            killed, chunked_numpy_reference(plan, self.N, 17, self.CHUNK)
+        )
+
+
+class WorkerOnlyCrasher(Distribution):
+    """Dies only inside pool workers: the parent's serial rescue survives.
+
+    Picklable (module level) because it ships to workers in the plan
+    payload; ``parent_pid`` is captured at construction, in the parent.
+    """
+
+    def __init__(self, sentinel: str) -> None:
+        import os
+
+        self.sentinel = sentinel
+        self.parent_pid = os.getpid()
+
+    def sample_n(self, n, rng):
+        import os
+
+        if os.getpid() != self.parent_pid and os.path.exists(self.sentinel):
+            os._exit(1)
+        return rng.normal(0.0, 1.0, size=n)
+
+
+class TestSerialFallback:
+    def test_persistent_crashes_are_rescued_in_process(self, tmp_path):
+        sentinel = tmp_path / "crash-always"
+        sentinel.touch()
+        value = Uncertain(WorkerOnlyCrasher(str(sentinel))) + 0.0
+        engine = ParallelEngine(
+            workers=2,
+            chunk_size=512,
+            mp_context="fork",
+            serial_fallback=True,
+        )
+        sink = RuntimeMetrics()
+        try:
+            with evaluation_config(metrics=sink):
+                with pytest.warns(RuntimeWarning, match="serially in-process"):
+                    out = engine.run(value.plan, 4_096, np.random.default_rng(11))
+            root = out[value.plan.root_slot]
+            # The rescue preserves the chunked stream: retried chunks run
+            # on NumpyEngine with their original chunk seeds.
+            assert np.array_equal(
+                root, chunked_numpy_reference(value.plan, 4_096, 11, 512)
+            )
+            assert sink.snapshot()["parallel"]["serial_rescues"] > 0
+        finally:
+            engine.shutdown()
+            sentinel.unlink(missing_ok=True)
+
+    def test_without_fallback_the_failure_still_raises(self, tmp_path):
+        from repro import SamplingError
+
+        sentinel = tmp_path / "crash-always"
+        sentinel.touch()
+        value = Uncertain(WorkerOnlyCrasher(str(sentinel))) + 0.0
+        engine = ParallelEngine(workers=2, chunk_size=512, mp_context="fork")
+        try:
+            with pytest.raises(SamplingError, match="crashed the worker pool"):
+                engine.run(value.plan, 4_096, np.random.default_rng(11))
+        finally:
+            engine.shutdown()
+            sentinel.unlink(missing_ok=True)

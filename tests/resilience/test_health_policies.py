@@ -1,0 +1,183 @@
+"""Numerical-health policy matrix: on_nonfinite across the engine path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import NonFiniteError, Uncertain, evaluation_config
+from repro.core.conditionals import EvaluationConfig
+from repro.core.sampling import SampleContext
+from repro.dists import Empirical, Gaussian
+from repro.dists.kde import KernelDensity
+from repro.resilience import NonFiniteWarning, attribute_nonfinite, nonfinite_mask
+from repro.runtime.metrics import RuntimeMetrics
+
+
+def poisoned() -> Uncertain:
+    """1 / (x * 0): every sample is inf/NaN, introduced at the division."""
+    x = Uncertain(Gaussian(0.0, 1.0), label="X")
+    return Uncertain(Gaussian(1.0, 0.1), label="Y") / (x * 0.0)
+
+
+def sometimes_nan() -> Uncertain:
+    """log of a Gaussian(1, 1): NaN for the ~16% of draws below zero."""
+    return Uncertain(Gaussian(1.0, 1.0), label="X").map(np.log)
+
+
+class TestPropagateDefault:
+    def test_default_policy_keeps_ieee_semantics(self, rng):
+        values = poisoned().samples(64, rng)
+        assert np.any(~np.isfinite(values))
+
+    def test_default_policy_emits_no_warning(self, rng):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", NonFiniteWarning)
+            poisoned().samples(64, rng)
+
+
+class TestWarnPolicy:
+    def test_warns_and_returns_the_batch(self, rng):
+        with evaluation_config(on_nonfinite="warn"):
+            with pytest.warns(NonFiniteWarning, match="non-finite"):
+                values = poisoned().samples(64, rng)
+        assert len(values) == 64
+
+    def test_clean_batches_do_not_warn(self, rng):
+        import warnings
+
+        clean = Uncertain(Gaussian(0.0, 1.0)) + 1.0
+        with evaluation_config(on_nonfinite="warn"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", NonFiniteWarning)
+                clean.samples(64, rng)
+
+
+class TestRaisePolicy:
+    def test_raises_with_slot_attribution(self, rng):
+        with evaluation_config(on_nonfinite="raise"):
+            with pytest.raises(NonFiniteError) as excinfo:
+                poisoned().samples(64, rng)
+        attrs = excinfo.value.attributions
+        assert attrs, "expected at least one attribution"
+        # The division slot is blamed, not the healthy leaves.
+        assert any(a.label == "/" for a in attrs)
+        assert all(a.rows > 0 for a in attrs)
+
+    def test_message_names_the_operator(self, rng):
+        with evaluation_config(on_nonfinite="raise"):
+            with pytest.raises(NonFiniteError, match="'/'"):
+                poisoned().samples(64, rng)
+
+
+class TestResamplePolicy:
+    def test_repairs_recoverable_batches(self, rng):
+        with evaluation_config(on_nonfinite="resample", nonfinite_retries=32):
+            values = sometimes_nan().samples(2_000, rng)
+        assert len(values) == 2_000
+        assert np.all(np.isfinite(values))
+
+    def test_cap_exhaustion_raises(self, rng):
+        # Every draw is poisoned, so no amount of resampling helps.
+        with evaluation_config(on_nonfinite="resample", nonfinite_retries=3):
+            with pytest.raises(NonFiniteError, match="retry cap"):
+                poisoned().samples(64, rng)
+
+    def test_repair_is_deterministic_from_seed(self):
+        expr = sometimes_nan()
+        with evaluation_config(on_nonfinite="resample", nonfinite_retries=32):
+            a = expr.samples(500, rng=99)
+            b = expr.samples(500, rng=99)
+        assert np.array_equal(a, b)
+
+    def test_shared_context_draws_refuse_row_repair(self):
+        # Replacing rows of one root would desynchronise the memoised joint
+        # assignment, so resample under a SampleContext must raise.
+        expr = poisoned()
+        with evaluation_config(on_nonfinite="resample", rng=np.random.default_rng(0)):
+            context = SampleContext(16)
+            with pytest.raises(NonFiniteError, match="shared-context"):
+                expr.sample_with(context)
+
+
+class TestMetricsAndHelpers:
+    def test_health_counters_record_rows_and_resamples(self):
+        sink = RuntimeMetrics()
+        with evaluation_config(
+            on_nonfinite="resample", nonfinite_retries=32, metrics=sink
+        ):
+            sometimes_nan().samples(2_000, rng=5)
+        health = sink.snapshot()["health"]
+        assert health["nonfinite_batches"] == 1
+        assert health["nonfinite_rows"] > 0
+        assert health["resamples"] >= 1
+        assert health["by_policy"] == {"resample": 1}
+
+    def test_nonfinite_mask_skips_non_float_batches(self):
+        assert nonfinite_mask(np.array([True, False])) is None
+        assert nonfinite_mask(np.array([1, 2, 3])) is None
+        assert nonfinite_mask([1.0, np.nan]) is None  # not an ndarray
+        mask = nonfinite_mask(np.array([1.0, np.nan, np.inf]))
+        assert mask.tolist() == [False, True, True]
+
+    def test_attribution_blames_first_slot_only(self, rng):
+        expr = poisoned()
+        plan = expr.plan
+        from repro.core.engines import NumpyEngine
+
+        values = NumpyEngine().run(plan, 32, rng)
+        attrs = attribute_nonfinite(plan, values)
+        # Downstream slots that merely inherit the corruption are not blamed.
+        assert len(attrs) == 1
+        assert attrs[0].label == "/"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="on_nonfinite"):
+            EvaluationConfig(on_nonfinite="explode")
+        with pytest.raises(ValueError, match="on_inconclusive"):
+            EvaluationConfig(on_inconclusive="explode")
+        with pytest.raises(ValueError, match="nonfinite_retries"):
+            EvaluationConfig(nonfinite_retries=-1)
+
+
+class TestDiagnoseProbe:
+    def test_runtime_probe_reports_unc301(self):
+        diags = sometimes_nan().diagnose(samples=500)
+        runtime = [d for d in diags if d.rule == "UNC301"]
+        assert len(runtime) == 1
+        assert runtime[0].data["rows"] > 0
+        assert runtime[0].data["probe_samples"] == 500
+
+    def test_probe_is_deterministic_and_isolated(self):
+        expr = sometimes_nan()
+        a = expr.diagnose(samples=500)
+        b = expr.diagnose(samples=500)
+        assert [d.as_dict() for d in a] == [d.as_dict() for d in b]
+
+    def test_static_only_when_samples_omitted(self):
+        diags = sometimes_nan().diagnose()
+        assert not [d for d in diags if d.rule == "UNC301"]
+
+
+class TestConstructorScreening:
+    def test_empirical_rejects_nonfinite_pools(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Empirical([1.0, np.nan, 3.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            Empirical([1.0, np.inf])
+
+    def test_empirical_opt_in_keeps_them(self):
+        dist = Empirical([1.0, np.nan], allow_nonfinite=True)
+        assert len(dist) == 2
+
+    def test_empirical_object_pools_unscreened(self):
+        Empirical([object(), object()])  # no dtype notion of finiteness
+
+    def test_kde_rejects_nonfinite_data(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            KernelDensity([0.0, 1.0, np.nan])
+
+    def test_kde_opt_in(self):
+        KernelDensity([0.0, 1.0, np.inf], allow_nonfinite=True, bandwidth=1.0)

@@ -1,0 +1,134 @@
+"""Inconclusive inference as data: structured truncation outcomes."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    Inconclusive,
+    InconclusiveError,
+    SPRT,
+    TestDecision,
+    Uncertain,
+    evaluation_config,
+)
+from repro.core.sprt import FixedSampleTest, GroupSequentialTest, TestResult
+from repro.dists import Gaussian
+from repro.resilience import InconclusiveWarning
+from repro.rng import default_rng
+from repro.runtime.metrics import RuntimeMetrics
+
+
+def fair_coin():
+    """Evidence pinned exactly at 0.5: testing against 0.5 cannot conclude."""
+    return Uncertain(Gaussian(0.0, 1.0)) > 0.0
+
+
+def pinned(p):
+    """A Bernoulli sampler with exact success fraction ``p`` per batch."""
+
+    def draw(k):
+        ones = int(round(p * k))
+        return np.arange(k) < ones
+
+    return draw
+
+
+class TestStructuredOutcome:
+    def test_sprt_truncation_carries_inconclusive_record(self):
+        result = SPRT(threshold=0.5, max_samples=500).run(pinned(0.5))
+        assert result.decision is TestDecision.INCONCLUSIVE
+        outcome = result.inconclusive
+        assert isinstance(outcome, Inconclusive)
+        assert outcome.threshold == 0.5
+        assert outcome.samples_used == outcome.max_samples == 500
+        assert outcome.p_hat == pytest.approx(0.5)
+        assert "truncated" in outcome.describe()
+        assert "500" in outcome.describe()
+
+    def test_decisive_results_have_no_record(self):
+        result = SPRT(threshold=0.5).run(pinned(0.95))
+        assert result.decision is TestDecision.ACCEPT_ALTERNATIVE
+        assert result.inconclusive is None
+
+    def test_fixed_sample_significance_truncation(self):
+        test = FixedSampleTest(threshold=0.5, n=100, significance=0.05)
+        result = test.run(pinned(0.52))
+        assert result.decision is TestDecision.INCONCLUSIVE
+        assert result.inconclusive.max_samples == 100
+
+    def test_group_sequential_truncation(self):
+        test = GroupSequentialTest(threshold=0.5, looks=3, group_size=50)
+        result = test.run(pinned(0.5))
+        assert result.decision is TestDecision.INCONCLUSIVE
+        assert result.inconclusive.samples_used == test.max_samples == 150
+
+    def test_zero_sample_p_hat_is_half_not_nan(self):
+        # Maximum ignorance, never a NaN that poisons downstream use.
+        result = TestResult(TestDecision.INCONCLUSIVE, 0, 0)
+        assert result.p_hat == 0.5
+        outcome = Inconclusive(0.5, 0, 0, 100)
+        assert outcome.p_hat == 0.5
+
+
+class TestPolicyMatrix:
+    def run_inconclusive(self, **overrides):
+        coin = fair_coin()
+        with evaluation_config(
+            rng=default_rng(2), max_samples=200, epsilon=0.01, **overrides
+        ):
+            return coin.test(0.5)
+
+    def test_best_guess_default_is_silent_false(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", InconclusiveWarning)
+            result = self.run_inconclusive()
+        assert result.decision is TestDecision.INCONCLUSIVE
+        assert bool(result) is False  # neither-branch semantics preserved
+
+    def test_warn_policy_emits_warning_and_answers(self):
+        with pytest.warns(InconclusiveWarning, match="truncated"):
+            result = self.run_inconclusive(on_inconclusive="warn")
+        assert result.decision is TestDecision.INCONCLUSIVE
+
+    def test_raise_policy_carries_the_outcome(self):
+        with pytest.raises(InconclusiveError) as excinfo:
+            self.run_inconclusive(on_inconclusive="raise")
+        outcome = excinfo.value.outcome
+        assert isinstance(outcome, Inconclusive)
+        assert outcome.samples_used == 200
+
+    def test_policy_applies_to_boolean_conditionals_too(self):
+        coin = fair_coin()
+        with evaluation_config(
+            rng=default_rng(2),
+            max_samples=200,
+            epsilon=0.01,
+            on_inconclusive="raise",
+        ):
+            with pytest.raises(InconclusiveError):
+                coin.pr(0.5)
+
+    def test_decisive_tests_never_trigger_the_policy(self):
+        sure = Uncertain(Gaussian(10.0, 0.1)) > 0.0
+        with evaluation_config(rng=default_rng(3), on_inconclusive="raise"):
+            assert sure.pr(0.5) is True
+
+    def test_metrics_record_policy_attribution(self):
+        sink = RuntimeMetrics()
+        coin = fair_coin()
+        with evaluation_config(
+            rng=default_rng(2),
+            max_samples=200,
+            epsilon=0.01,
+            on_inconclusive="warn",
+            metrics=sink,
+        ):
+            with pytest.warns(InconclusiveWarning):
+                coin.test(0.5)
+        tests = sink.snapshot()["tests"]
+        assert tests["inconclusive"] == 1
+        assert tests["inconclusive_by_policy"] == {"warn": 1}
