@@ -251,14 +251,66 @@ def _check_constant_folding(plan: EvaluationPlan, intervals: list[Interval]):
         saving = subtree_slots[slot] - 1
         value = intervals[slot]
         value_note = f" (value {value.lower:g})" if value.is_point else ""
+        # The optimizer's constant-fold pass performs this exact rewrite —
+        # except across ApplyNode, which it treats as a fold barrier
+        # (lifted user functions may be impure).
+        barrier = _has_apply_barrier(plan, slot)
+        level = _optimizer_level()
+        if level >= 1 and not barrier:
+            message = (
+                f"sub-DAG rooted at {step.node.label!r} is built only from "
+                f"point masses{value_note}; folded by pass constant-fold "
+                f"(optimize={level}): {saving} slot(s) eliminated from the "
+                "executed program"
+            )
+            folded = True
+        elif level >= 1:
+            message = (
+                f"sub-DAG rooted at {step.node.label!r} is built only from "
+                f"point masses{value_note}, but contains a lifted function "
+                "(a constant-fold barrier: it may be impure), so the "
+                f"optimizer leaves its {saving} slot(s) in place"
+            )
+            folded = False
+        else:
+            message = (
+                f"sub-DAG rooted at {step.node.label!r} is built only from "
+                f"point masses{value_note}; folding it to one constant "
+                f"would save {saving} slot(s) per joint sample (enable "
+                "with evaluation_config(optimize=1))"
+            )
+            folded = False
         yield _diag(
             "UNC105",
-            f"sub-DAG rooted at {step.node.label!r} is built only from "
-            f"point masses{value_note}; folding it to one constant would "
-            f"save {saving} slot(s) per joint sample",
+            message,
             step,
             slots_saved=saving,
+            folded=folded,
+            fold_pass="constant-fold",
         )
+
+
+def _has_apply_barrier(plan: EvaluationPlan, slot: int) -> bool:
+    """Does the sub-DAG below ``slot`` contain an ``ApplyNode``?"""
+    seen: set[int] = set()
+    stack = [slot]
+    while stack:
+        s = stack.pop()
+        if s in seen:
+            continue
+        seen.add(s)
+        if isinstance(plan.steps[s].node, ApplyNode):
+            return True
+        stack.extend(plan.steps[s].parent_slots)
+    return False
+
+
+def _optimizer_level() -> int:
+    """The optimizer level active in the ambient evaluation config."""
+    from repro.core.conditionals import get_config
+    from repro.core.optimizer import resolve_level
+
+    return resolve_level(get_config().optimize)
 
 
 def analyze_plan(plan: EvaluationPlan) -> list[Diagnostic]:

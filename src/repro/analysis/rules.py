@@ -49,8 +49,9 @@ GRAPH_RULES = {
     "UNC104": Rule("UNC104", WARNING,
                    "tautological self-comparison of a shared node"),
     "UNC105": Rule("UNC105", INFO,
-                   "constant (point-mass-only) sub-DAG could be folded at "
-                   "construction time"),
+                   "constant (point-mass-only) sub-DAG: folded by the "
+                   "optimizer's constant-fold pass when enabled, otherwise "
+                   "a re-evaluation cost on every joint sample"),
 }
 
 RUNTIME_RULES = {

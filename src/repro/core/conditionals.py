@@ -76,8 +76,17 @@ class EvaluationConfig:
     #: Optional override: a factory building the test for a given threshold.
     test_factory: "callable | None" = None
     #: Execution engine for compiled plans: a registered name or an
-    #: :class:`~repro.core.engines.ExecutionEngine` instance.
+    #: :class:`~repro.core.engines.ExecutionEngine` instance.  Built-in
+    #: names: ``"numpy"`` (default), ``"interpreter"``, ``"parallel"``,
+    #: ``"fused"`` (generated-kernel backend, :mod:`repro.core.fused`).
     engine: "str | object" = "numpy"
+    #: Optimizer level for compiled plans (:mod:`repro.core.optimizer`):
+    #: ``False``/``0`` disables, ``1`` runs constant folding + dead-slot
+    #: elimination, ``True``/``2`` adds common-subexpression elimination.
+    #: Safe default ``True``: every accepted rewrite preserves bit-identical
+    #: RNG streams (rewrites that would reorder leaf draws are rejected),
+    #: and memo-carrying draws (``SampleContext``) always run unoptimized.
+    optimize: "bool | int" = True
     #: Telemetry sink for the plan/engine layer (``None`` = off, the fast
     #: path).  Enable with :meth:`enable_plan_telemetry`.
     plan_telemetry: PlanTelemetry | None = None

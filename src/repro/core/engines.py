@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import conditionals as _cond
 from repro.core.graph import Node
+from repro.core.optimizer import resolve_level
 from repro.core.plan import (
     OP_BINARY,
     OP_SOURCE,
@@ -78,6 +79,13 @@ class ExecutionEngine:
     """
 
     name: str = "abstract"
+    #: Engines that execute whatever plan they are handed can run the
+    #: optimizer's rewritten program (``sample`` switches to
+    #: ``plan.optimized(level)`` on memo-free draws).  The interpreter
+    #: opts out to stay the *unoptimized* reference semantics, which makes
+    #: every engine-equivalence test an end-to-end check of the optimizer's
+    #: bit-identity contract.
+    supports_optimized: bool = True
 
     def run(
         self,
@@ -109,6 +117,13 @@ class ExecutionEngine:
         that benchmark or need every slot.
         """
         config = _cond.get_config()
+        if memo is None and self.supports_optimized:
+            # Memo-carrying draws (SampleContext) stay on the unoptimized
+            # plan: memo keys are the *user's* node objects, and rewritten
+            # plans may not contain them.
+            level = resolve_level(config.optimize)
+            if level:
+                plan = plan.optimized(level)
         propagate = config.on_nonfinite == "propagate"
         metrics = _metrics.active()
         tracer = _trace.get_tracer()
@@ -250,6 +265,7 @@ class InterpreterEngine(ExecutionEngine):
     """
 
     name = "interpreter"
+    supports_optimized = False
 
     def run(self, plan, n, rng, memo=None, telemetry=None):
         local: dict[Node, np.ndarray] = dict(memo) if memo else {}
@@ -292,6 +308,14 @@ class InterpreterEngine(ExecutionEngine):
 
 _ENGINES: dict[str, ExecutionEngine] = {}
 
+#: Engines that live outside :mod:`repro.core` and register themselves on
+#: import; resolved lazily so selecting them by name works even before
+#: their module loads (and without making this module import them).
+_LAZY_ENGINES = {
+    "parallel": "repro.runtime.parallel",
+    "fused": "repro.core.fused",
+}
+
 
 def register_engine(engine: ExecutionEngine, name: str | None = None) -> ExecutionEngine:
     """Register ``engine`` under ``name`` (defaults to ``engine.name``)."""
@@ -309,12 +333,11 @@ def get_engine(engine: "str | ExecutionEngine") -> ExecutionEngine:
     try:
         return _ENGINES[engine]
     except KeyError:
-        if engine == "parallel":
-            # The parallel engine lives one layer up (repro.runtime) and
-            # registers itself on import; resolve it lazily so selecting
-            # engine="parallel" works even before repro.runtime loads.
-            import repro.runtime.parallel  # noqa: F401
+        module = _LAZY_ENGINES.get(engine)
+        if module is not None:
+            import importlib
 
+            importlib.import_module(module)
             if engine in _ENGINES:
                 return _ENGINES[engine]
         raise EngineError(

@@ -1,0 +1,738 @@
+"""Stage 3 of the plan compiler: the fused-kernel execution backend.
+
+For every plan *shape* (structural hash, see :mod:`repro.core.structural`)
+this module generates one flat numpy Python source — a single function that
+evaluates the whole optimized program without the per-step dispatch loop of
+:class:`~repro.core.engines.NumpyEngine` — compiles it once, and caches it
+process-wide.  Isomorphic plans compiled later (fresh graphs per session,
+worker processes, re-built roots) rebind the same generated code to their
+own node objects instead of re-generating anything.
+
+What the generated kernel fuses:
+
+- **Coalesced leaf draws.**  Runs of adjacent stochastic leaves whose
+  distributions declare an affine reduction
+  (:meth:`~repro.dists.base.Distribution.bulk_draw_spec`) collapse into a
+  single base-generator call plus a broadcast affine::
+
+      _d0 = (_loc0 + _scale0
+             * rng.standard_normal(4 * n).reshape(4, n))
+
+  This is bit-identical to the four sequential ``rng.normal(...)`` calls
+  the reference engines make — numpy's distribution methods compute
+  ``loc + scale * draw`` per value from the same underlying stream, so
+  chunking the stream differently does not reorder it.  Adjacency is in
+  *RNG-consumption order*: point masses and deterministic interior ops
+  never draw, so they do not break a run.
+- **Operator chains.**  Deterministic interior ops become native infix
+  expressions; single-use intermediates are inlined into their consumer,
+  so ``sqrt(dx*dx + dy*dy) / dt > 4`` becomes one line of numpy instead
+  of five dispatched steps.
+- **Constants.**  Scalar point masses (including those produced by the
+  constant-fold pass) are bound once at kernel-build time and used as
+  scalars where broadcasting keeps the result identical.
+
+Safety: every freshly generated kernel is **verified before first use** —
+executed against :class:`~repro.core.engines.NumpyEngine` on the same plan
+for multiple seeds and batch sizes and required to produce bit-identical
+arrays (values *and* dtype).  A kernel that fails verification — or a plan
+with no structural hash (lambdas, opaque sources) — falls back to the
+inner engine, with the rejection recorded in runtime metrics.  The
+bit-identity contract of :mod:`repro.core.optimizer` is therefore enforced
+twice: by construction and by test.
+
+``numexpr`` acceleration for long arithmetic chains is available behind a
+feature flag (``FusedEngine(use_numexpr=True)`` or the
+``REPRO_FUSED_NUMEXPR`` environment variable); when the library is not
+installed the flag degrades to plain numpy with a warning.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+import threading
+import warnings
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.engines import ExecutionEngine, get_engine, register_engine
+from repro.core.graph import (
+    ApplyNode,
+    BinaryOpNode,
+    LeafNode,
+    PointMassNode,
+    UnaryOpNode,
+)
+from repro.core.plan import OP_SOURCE, EvaluationPlan, PlanStep
+from repro.runtime import metrics as _metrics
+
+
+class FusedFallbackWarning(UserWarning):
+    """A plan could not use the fused backend and fell back to numpy."""
+
+
+#: Deterministic binary ops with a native infix spelling.  The symbol is
+#: applied to ndarray operands, which dispatches to exactly the same ufunc
+#: the reference engine's bound callable invokes.
+_INFIX_BINARY = {
+    operator.add: "+", operator.sub: "-", operator.mul: "*",
+    operator.truediv: "/", operator.floordiv: "//", operator.mod: "%",
+    operator.pow: "**",
+    operator.lt: "<", operator.le: "<=", operator.gt: ">",
+    operator.ge: ">=", operator.eq: "==", operator.ne: "!=",
+    np.add: "+", np.subtract: "-", np.multiply: "*", np.true_divide: "/",
+}
+
+#: Binary ops spelled as calls on the ``np`` module object.
+_NPFUNC_BINARY = {
+    np.logical_and: "logical_and",
+    np.logical_or: "logical_or",
+    np.logical_xor: "logical_xor",
+}
+
+_PREFIX_UNARY = {operator.neg: "-", operator.pos: "+"}
+_NPFUNC_UNARY = {np.abs: "abs", np.absolute: "abs", np.logical_not: "logical_not"}
+
+#: Operations that cannot signal IEEE floating-point errors, letting the
+#: kernel skip the ``np.errstate`` context manager entirely.
+_SAFE_SYMBOLS = frozenset(
+    {"+", "-", "*", "<", "<=", ">", ">=", "==", "!=",
+     "logical_and", "logical_or", "logical_xor", "logical_not", "abs"}
+)
+
+#: numexpr handles these (and only these) in the chain-fusion path.
+_NE_SYMBOLS = frozenset({"+", "-", "*", "/"})
+
+_SCALAR_TYPES = (int, float, bool, np.integer, np.floating, np.bool_)
+
+#: Verification matrix: every fresh kernel must be bit-identical to the
+#: reference engine for each (seed, batch size) pair before first use.
+_VERIFY_SEEDS = (12345, 67890)
+_VERIFY_SIZES = (3, 17)
+
+_KERNEL_CACHE_LIMIT = 256
+
+
+def _chk(values, n):
+    """Match ``engines._check_batch``: coerce + validate a step's output."""
+    if type(values) is not np.ndarray:
+        values = np.asarray(values)
+    if values.shape[:1] != (n,):
+        from repro.core.sampling import SamplingError
+
+        raise SamplingError(
+            f"fused kernel produced batch of shape {values.shape}, "
+            f"expected leading dimension {n}"
+        )
+    return values
+
+
+class FusedStep(PlanStep):
+    """One emitted kernel statement, listing its constituent operations."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, node, slot, parent_slots, ops):
+        super().__init__(node, slot, parent_slots)
+        self.ops = tuple(ops)
+        self.kind = "Fused"
+
+
+class FusedProgram:
+    """Introspection handle for one generated kernel (shared per shape)."""
+
+    __slots__ = ("structural_hash", "source", "steps", "uses_numexpr")
+
+    def __init__(self, structural_hash, source, steps, uses_numexpr=False):
+        self.structural_hash = structural_hash
+        self.source = source
+        self.steps = tuple(steps)
+        self.uses_numexpr = uses_numexpr
+
+    def op_histogram(self) -> dict[str, int]:
+        """Constituent-operation counts across all fused statements."""
+        hist: dict[str, int] = {}
+        for step in self.steps:
+            for op in step.ops:
+                name, _, count = op.partition(" ×")
+                hist[name] = hist.get(name, 0) + (int(count) if count else 1)
+        return hist
+
+    def describe(self) -> str:
+        lines = [f"fused kernel {self.structural_hash}:"]
+        lines.extend(f"  {step!r}" for step in self.steps)
+        lines.append("generated source:")
+        lines.extend("  " + line for line in self.source.splitlines())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FusedProgram {self.structural_hash} "
+            f"{len(self.steps)} fused step(s)>"
+        )
+
+
+class _Expr:
+    """An expression being built for one plan slot."""
+
+    __slots__ = ("text", "ops", "ne_ok", "names")
+
+    def __init__(self, text, ops=(), ne_ok=False, names=()):
+        self.text = text
+        self.ops = tuple(ops)
+        self.ne_ok = ne_ok
+        self.names = frozenset(names)
+
+
+class _KernelSpec:
+    """Everything needed to rebind the generated source to a new plan."""
+
+    __slots__ = (
+        "source", "factory", "steps_meta", "s_slots", "f_slots", "g_slots",
+        "k_slots", "runs", "uses_numexpr", "verified",
+    )
+
+    def __init__(self):
+        self.source = ""
+        self.factory = None
+        self.steps_meta = ()  # (slot, parent_slots, ops) per statement
+        self.s_slots = ()
+        self.f_slots = ()
+        self.g_slots = ()
+        self.k_slots = ()
+        self.runs = ()  # (family, (slot, ...)) per coalesced draw
+        self.uses_numexpr = False
+        self.verified = False
+
+
+def _binding_args(spec: _KernelSpec, plan: EvaluationPlan):
+    """Extract this plan's callables/constants for the shared kernel code."""
+    steps = plan.steps
+    S = tuple(steps[i].node.evaluate_batch for i in spec.s_slots)
+    # F holds op callables for Binary/UnaryOp slots and lifted ufuncs for
+    # vectorized ApplyNode slots (called directly, no wrapper).
+    F = tuple(
+        getattr(steps[i].node, "op", None) or steps[i].node.fn
+        for i in spec.f_slots
+    )
+    G = tuple(steps[i].node.evaluate_batch for i in spec.g_slots)
+    K = tuple(steps[i].node.value for i in spec.k_slots)
+    R = []
+    for _family, slots in spec.runs:
+        params = [steps[i].node.dist.bulk_draw_spec() for i in slots]
+        if len(slots) == 1:
+            R.append((float(params[0][1]), float(params[0][2])))
+        else:
+            # Column vectors, shaped once here so the kernel's broadcast
+            # against the (k, n) draw block needs no per-call reshaping.
+            R.append(
+                (
+                    np.asarray([p[1] for p in params], dtype=np.float64)
+                    .reshape(-1, 1),
+                    np.asarray([p[2] for p in params], dtype=np.float64)
+                    .reshape(-1, 1),
+                )
+            )
+    return S, F, G, K, tuple(R)
+
+
+def _generate(plan: EvaluationPlan, use_numexpr: bool) -> _KernelSpec:
+    """Generate (but do not verify) the kernel source for ``plan``."""
+    spec = _KernelSpec()
+    steps = plan.steps
+    root_slot = plan.root_slot
+
+    # Use counts decide materialisation (consts) and inlining (exprs).
+    uses = [0] * len(steps)
+    uses[root_slot] += 1
+    for step in steps:
+        for p in step.parent_slots:
+            uses[p] += 1
+
+    # -- classify ----------------------------------------------------------
+    # const slots that must materialise as np.full (mirroring the engine):
+    # the root, operands of generic/unknown calls, operands of unary ops,
+    # and one side of a const-const binary.
+    const_slot = {}
+    for step in steps:
+        node = step.node
+        if (
+            step.opcode == OP_SOURCE
+            and type(node) is PointMassNode
+            and isinstance(node.value, _SCALAR_TYPES)
+        ):
+            const_slot[step.slot] = True  # True = scalar-inlinable so far
+    if root_slot in const_slot:
+        const_slot[root_slot] = False
+    for step in steps:
+        kind = type(step.node)
+        parents = step.parent_slots
+        if kind is BinaryOpNode and step.node.op in _INFIX_BINARY:
+            a, b = parents
+            if a in const_slot and b in const_slot:
+                const_slot[a] = False  # materialise one side; b stays scalar
+        elif kind is BinaryOpNode and step.node.op in _NPFUNC_BINARY:
+            pass  # np.logical_* broadcast scalars identically
+        else:
+            for p in parents:
+                if p in const_slot:
+                    const_slot[p] = False
+
+    s_slots, f_slots, g_slots, k_slots, runs = [], [], [], [], []
+    k_index = {}
+    pending_run = None  # (family, [slots]) being grown in rng order
+    for step in steps:
+        if step.opcode != OP_SOURCE:
+            continue
+        node = step.node
+        if type(node) is LeafNode:
+            draw = node.dist.bulk_draw_spec()
+            if draw is not None:
+                family = draw[0]
+                if pending_run is not None and pending_run[0] == family:
+                    pending_run[1].append(step.slot)
+                else:
+                    if pending_run is not None:
+                        runs.append((pending_run[0], tuple(pending_run[1])))
+                    pending_run = (family, [step.slot])
+                continue
+            # A spec-less leaf consumes RNG through its own path: it ends
+            # any open run so draw order stays exactly the engines' order.
+            if pending_run is not None:
+                runs.append((pending_run[0], tuple(pending_run[1])))
+                pending_run = None
+            s_slots.append(step.slot)
+        elif step.slot in const_slot:
+            k_index[step.slot] = len(k_slots)
+            k_slots.append(step.slot)
+        else:
+            # Non-scalar point masses and exotic parentless nodes run
+            # through their own evaluate_batch (they never draw RNG, so
+            # their position relative to the coalesced draws is free).
+            s_slots.append(step.slot)
+    if pending_run is not None:
+        runs.append((pending_run[0], tuple(pending_run[1])))
+    run_of = {}
+    for r, (_family, slots) in enumerate(runs):
+        for slot in slots:
+            run_of[slot] = r
+
+    # -- emit --------------------------------------------------------------
+    body: list[str] = []
+    steps_meta: list[tuple] = []
+    exprs: dict[int, _Expr] = {}
+    unsafe = False
+
+    def ref(slot):
+        """Operand text for ``slot`` (inlined expression or variable)."""
+        e = exprs.get(slot)
+        return e if e is not None else _Expr(f"v{slot}", ne_ok=True, names=(f"v{slot}",))
+
+    def assign(slot, expr, parent_slots):
+        body.append(f"v{slot} = {expr.text}")
+        steps_meta.append((slot, tuple(parent_slots), expr.ops))
+
+    drawn_runs = set()
+    for step in steps:
+        slot, node, parents = step.slot, step.node, step.parent_slots
+        kind = type(node)
+        if step.opcode == OP_SOURCE:
+            if slot in run_of:
+                r = run_of[slot]
+                family, slots = runs[r]
+                if r not in drawn_runs:
+                    drawn_runs.add(r)
+                    k = len(slots)
+                    if k == 1:
+                        # Identity terms are dropped: ``0.0 + x`` and
+                        # ``1.0 * x`` cannot change any value the base
+                        # generators produce (params are structural, so
+                        # every plan sharing this source shares them).
+                        spec_row = node.dist.bulk_draw_spec()
+                        loc, scale = float(spec_row[1]), float(spec_row[2])
+                        text = f"rng.{family}(n)"
+                        if scale != 1.0:
+                            text = f"_scale{r} * {text}"
+                        if loc != 0.0:
+                            text = f"_loc{r} + {text}"
+                        body.append(f"v{slot} = ({text})")
+                        steps_meta.append((slot, (), (family,)))
+                    else:
+                        body.append(
+                            f"_d{r} = (_loc{r} + _scale{r}"
+                            f" * rng.{family}({k} * n).reshape({k}, n))"
+                        )
+                        body.append(
+                            ", ".join(f"v{s}" for s in slots) + f" = _d{r}"
+                        )
+                        steps_meta.append((slots[0], (), (f"{family} ×{k}",)))
+            elif slot in k_index:
+                j = k_index[slot]
+                if const_slot[slot]:
+                    exprs[slot] = _Expr(
+                        f"_K{j}", ne_ok=True, names=(f"_K{j}",)
+                    )
+                else:
+                    body.append(f"v{slot} = np.full(n, _K{j})")
+                    steps_meta.append((slot, (), ("const",)))
+            else:
+                j = s_slots.index(slot)
+                unsafe = True
+                body.append(f"v{slot} = _chk(_S{j}((), n, rng), n)")
+                steps_meta.append((slot, (), (step.kind,)))
+            continue
+        if kind is BinaryOpNode and node.op in _INFIX_BINARY:
+            sym = _INFIX_BINARY[node.op]
+            a, b = ref(parents[0]), ref(parents[1])
+            expr = _Expr(
+                f"({a.text} {sym} {b.text})",
+                ops=a.ops + b.ops + (sym,),
+                ne_ok=a.ne_ok and b.ne_ok and sym in _NE_SYMBOLS,
+                names=a.names | b.names,
+            )
+        elif kind is BinaryOpNode and node.op in _NPFUNC_BINARY:
+            fn = _NPFUNC_BINARY[node.op]
+            a, b = ref(parents[0]), ref(parents[1])
+            expr = _Expr(
+                f"np.{fn}({a.text}, {b.text})",
+                ops=a.ops + b.ops + (fn,),
+                names=a.names | b.names,
+            )
+            sym = fn
+        elif kind is UnaryOpNode and node.op in _PREFIX_UNARY:
+            sym = _PREFIX_UNARY[node.op]
+            a = ref(parents[0])
+            expr = _Expr(
+                f"({sym}{a.text})", ops=a.ops + (sym,), names=a.names
+            )
+            sym = "neg" if sym == "-" else "pos"
+        elif kind is UnaryOpNode and node.op in _NPFUNC_UNARY:
+            fn = _NPFUNC_UNARY[node.op]
+            a = ref(parents[0])
+            expr = _Expr(
+                f"np.{fn}({a.text})", ops=a.ops + (fn,), names=a.names
+            )
+            sym = fn
+        elif kind in (BinaryOpNode, UnaryOpNode) or (
+            kind is ApplyNode
+            and node.vectorized
+            and isinstance(node.fn, np.ufunc)
+        ):
+            # Hashable op callables (e.g. np.hypot) and lifted ufuncs
+            # applied to whole batches: call the bound callable directly.
+            # For a ufunc ApplyNode this is bit-identical to its
+            # ``evaluate_batch`` — ``np.asarray`` is a no-op on the
+            # ndarray the ufunc returns — minus the wrapper frame.  A
+            # unary ufunc on an ndarray operand keeps its shape, so the
+            # batch check is skipped exactly as NumpyEngine skips its
+            # (conditional) ``_check_batch`` for well-shaped results.
+            j = len(f_slots)
+            f_slots.append(slot)
+            args = [ref(p) for p in parents]
+            call = f"_F{j}({', '.join(a.text for a in args)})"
+            if not (kind is ApplyNode and node.fn.nout == 1):
+                call = f"_chk({call}, n)"
+            expr = _Expr(
+                call,
+                ops=tuple(a2 for a in args for a2 in a.ops) + (node.label,),
+                names=frozenset().union(*(a.names for a in args)),
+            )
+            sym = node.label
+        else:
+            # ApplyNode / ComponentNode / future hashable kinds: run the
+            # node's own evaluate_batch, exactly like the generic engine
+            # path.  These never consume RNG (RNG-consuming node kinds are
+            # structurally opaque and never reach the fused backend).
+            j = len(g_slots)
+            g_slots.append(slot)
+            args = [ref(p) for p in parents]
+            unsafe = True
+            assign(
+                slot,
+                _Expr(
+                    f"_chk(_G{j}([{', '.join(a.text for a in args)}], n, rng), n)",
+                    ops=tuple(a2 for a in args for a2 in a.ops) + (step.kind,),
+                ),
+                parents,
+            )
+            continue
+        if sym not in _SAFE_SYMBOLS:
+            unsafe = True
+        if uses[slot] == 1 and slot != root_slot:
+            exprs[slot] = expr  # single consumer: fuse into it
+        else:
+            if use_numexpr and expr.ne_ok and len(expr.ops) >= 2:
+                local = ", ".join(
+                    f"{nm!r}: {nm}" for nm in sorted(expr.names)
+                )
+                expr = _Expr(
+                    f"_ne.evaluate({expr.text!r}, local_dict={{{local}}})",
+                    ops=expr.ops,
+                )
+                spec.uses_numexpr = True
+            assign(slot, expr, parents)
+
+    body.append(f"return v{root_slot}")
+
+    lines = ["def _factory(np, _chk, S, F, G, K, R, _ne):"]
+    for j in range(len(s_slots)):
+        lines.append(f"    _S{j} = S[{j}]")
+    for j in range(len(f_slots)):
+        lines.append(f"    _F{j} = F[{j}]")
+    for j in range(len(g_slots)):
+        lines.append(f"    _G{j} = G[{j}]")
+    for j in range(len(k_slots)):
+        lines.append(f"    _K{j} = K[{j}]")
+    for r in range(len(runs)):
+        lines.append(f"    _loc{r}, _scale{r} = R[{r}]")
+    lines.append("    def _kernel(n, rng):")
+    if unsafe:
+        lines.append(
+            "        with np.errstate(divide='ignore', invalid='ignore',"
+            " over='ignore'):"
+        )
+        lines.extend("            " + b for b in body)
+    else:
+        lines.extend("        " + b for b in body)
+    lines.append("    return _kernel")
+    source = "\n".join(lines) + "\n"
+
+    namespace: dict = {}
+    digest = plan.structural_hash or "anonymous"
+    exec(compile(source, f"<fused:{digest[:16]}>", "exec"), namespace)
+    spec.source = source
+    spec.factory = namespace["_factory"]
+    spec.steps_meta = tuple(steps_meta)
+    spec.s_slots = tuple(s_slots)
+    spec.f_slots = tuple(f_slots)
+    spec.g_slots = tuple(g_slots)
+    spec.k_slots = tuple(k_slots)
+    spec.runs = tuple(runs)
+    return spec
+
+
+def _verify(kernel, plan: EvaluationPlan, reference) -> bool:
+    """Is ``kernel`` bit-identical to the reference engine on ``plan``?"""
+    for seed in _VERIFY_SEEDS:
+        for n in _VERIFY_SIZES:
+            expected = reference.run(
+                plan, n, np.random.default_rng(seed)
+            )[plan.root_slot]
+            got = kernel(n, np.random.default_rng(seed))
+            expected = np.asarray(expected)
+            got = np.asarray(got)
+            if got.dtype != expected.dtype or got.shape != expected.shape:
+                return False
+            equal_nan = expected.dtype.kind in "fc"
+            if not np.array_equal(got, expected, equal_nan=equal_nan):
+                return False
+    return True
+
+
+class _BoundKernel:
+    """A shape's kernel bound to one plan's node objects."""
+
+    __slots__ = ("kernel", "program")
+
+    def __init__(self, kernel, program):
+        self.kernel = kernel
+        self.program = program
+
+
+#: Sentinel: this plan cannot be fused; always use the inner engine.
+_FALLBACK = object()
+
+_kernel_cache: "OrderedDict[str, _KernelSpec]" = OrderedDict()
+_kernel_lock = threading.Lock()
+
+
+def kernel_cache_stats() -> dict:
+    with _kernel_lock:
+        return {
+            "size": len(_kernel_cache),
+            "limit": _KERNEL_CACHE_LIMIT,
+            "verified": sum(1 for s in _kernel_cache.values() if s.verified),
+        }
+
+
+def clear_kernel_cache() -> None:
+    with _kernel_lock:
+        _kernel_cache.clear()
+
+
+def fused_program(plan: EvaluationPlan) -> FusedProgram | None:
+    """The fused program bound to ``plan``, or ``None`` if it falls back."""
+    bound = plan._fused
+    if bound is None:
+        bound = _prepare(plan, FusedEngine._default_numexpr())
+    return None if bound is _FALLBACK else bound.program
+
+
+def _prepare(plan: EvaluationPlan, use_numexpr):
+    """Build (or rebind) and verify the kernel for ``plan``; cache on it."""
+    metrics = _metrics.active()
+    digest = plan.structural_hash
+    if digest is None:
+        plan._fused = _FALLBACK
+        return _FALLBACK
+    reference = get_engine("numpy")
+    with _kernel_lock:
+        spec = _kernel_cache.get(digest)
+        if spec is not None:
+            _kernel_cache.move_to_end(digest)
+    fresh = spec is None
+    if fresh:
+        try:
+            spec = _generate(plan, use_numexpr and _numexpr() is not None)
+        except Exception as exc:
+            warnings.warn(
+                f"fused kernel generation failed for plan {digest}: "
+                f"{type(exc).__name__}: {exc}; falling back to numpy",
+                FusedFallbackWarning,
+                stacklevel=3,
+            )
+            if metrics is not None:
+                metrics.record_fused(rejected=1)
+            plan._fused = _FALLBACK
+            return _FALLBACK
+    if not fresh and not spec.verified:
+        # A previous plan of this shape failed verification: don't retry.
+        plan._fused = _FALLBACK
+        return _FALLBACK
+    try:
+        S, F, G, K, R = _binding_args(spec, plan)
+        kernel = spec.factory(np, _chk, S, F, G, K, R, _numexpr())
+        if fresh and not _verify(kernel, plan, reference):
+            raise _VerificationFailed(digest)
+    except Exception as exc:
+        if isinstance(exc, _VerificationFailed):
+            detail = "output diverged from the numpy engine"
+        else:
+            detail = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"fused kernel for plan {digest} rejected ({detail}); "
+            "falling back to numpy",
+            FusedFallbackWarning,
+            stacklevel=3,
+        )
+        if metrics is not None:
+            metrics.record_fused(rejected=1)
+        spec.verified = False
+        with _kernel_lock:
+            _kernel_cache[digest] = spec
+            while len(_kernel_cache) > _KERNEL_CACHE_LIMIT:
+                _kernel_cache.popitem(last=False)
+        plan._fused = _FALLBACK
+        return _FALLBACK
+    if fresh:
+        spec.verified = True
+        with _kernel_lock:
+            _kernel_cache[digest] = spec
+            while len(_kernel_cache) > _KERNEL_CACHE_LIMIT:
+                _kernel_cache.popitem(last=False)
+        if metrics is not None:
+            metrics.record_fused(built=1)
+    elif metrics is not None:
+        metrics.record_fused(kernel_hits=1)
+    steps = plan.steps
+    program = FusedProgram(
+        digest,
+        spec.source,
+        [
+            FusedStep(steps[slot].node, slot, parent_slots, ops)
+            for slot, parent_slots, ops in spec.steps_meta
+        ],
+        uses_numexpr=spec.uses_numexpr,
+    )
+    bound = _BoundKernel(kernel, program)
+    plan._fused = bound
+    return bound
+
+
+class _VerificationFailed(Exception):
+    pass
+
+
+_numexpr_cache = False
+
+
+def _numexpr():
+    """The numexpr module, or ``None`` when unavailable (warns once)."""
+    global _numexpr_cache
+    if _numexpr_cache is False:
+        try:
+            import numexpr  # noqa: F401
+
+            _numexpr_cache = numexpr
+        except ImportError:
+            _numexpr_cache = None
+    return _numexpr_cache
+
+
+class FusedEngine(ExecutionEngine):
+    """Execute plans through per-shape generated numpy kernels.
+
+    Drop-in engine (``evaluation_config(engine="fused")``): memo-carrying
+    draws, telemetry runs, and unfusable plans delegate to the inner
+    engine (numpy by default), so semantics are always exactly the
+    reference engines' — the kernel path is taken only after bit-identity
+    verification.
+    """
+
+    name = "fused"
+    supports_optimized = True
+
+    def __init__(self, inner: str = "numpy", use_numexpr: bool | None = None):
+        self._inner_name = inner
+        self._inner = None
+        if use_numexpr is None:
+            use_numexpr = self._default_numexpr()
+        self.use_numexpr = bool(use_numexpr)
+        if self.use_numexpr and _numexpr() is None:
+            warnings.warn(
+                "numexpr requested for the fused engine but not installed; "
+                "kernels will use plain numpy",
+                FusedFallbackWarning,
+                stacklevel=2,
+            )
+
+    @staticmethod
+    def _default_numexpr() -> bool:
+        return os.environ.get("REPRO_FUSED_NUMEXPR", "").strip() not in (
+            "", "0", "false", "no",
+        )
+
+    @property
+    def inner(self) -> ExecutionEngine:
+        if self._inner is None:
+            self._inner = get_engine(self._inner_name)
+        return self._inner
+
+    def run(self, plan, n, rng, memo=None, telemetry=None):
+        if memo is not None or telemetry is not None:
+            # Memoised contexts need every shared slot; telemetry needs
+            # per-node timings.  Both are the inner engine's job.
+            return self.inner.run(plan, n, rng, memo=memo, telemetry=telemetry)
+        bound = plan._fused
+        if bound is None:
+            bound = _prepare(plan, self.use_numexpr)
+        if bound is _FALLBACK:
+            return self.inner.run(plan, n, rng)
+        values: list = [None] * len(plan.steps)
+        values[plan.root_slot] = bound.kernel(n, rng)
+        return values
+
+
+register_engine(FusedEngine())
+
+__all__ = [
+    "FusedEngine",
+    "FusedFallbackWarning",
+    "FusedProgram",
+    "FusedStep",
+    "clear_kernel_cache",
+    "fused_program",
+    "kernel_cache_stats",
+]

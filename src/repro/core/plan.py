@@ -35,8 +35,13 @@ import weakref
 from typing import Callable, Iterator
 
 from repro.core.graph import BinaryOpNode, Node, UnaryOpNode, iter_nodes
+from repro.core.structural import STRUCTURAL_CACHE
 from repro.runtime import metrics as _metrics
 from repro.runtime import trace as _trace
+
+#: Sentinel distinguishing "structural hash not computed yet" from the
+#: legitimate ``None`` result of an opaque (unshareable) plan.
+_UNSET = object()
 
 
 @dataclasses.dataclass
@@ -53,6 +58,11 @@ class PlanTelemetry:
     plans_compiled: int = 0
     #: Number of :func:`compile_plan` calls satisfied from the cache.
     plan_cache_hits: int = 0
+    #: Fresh compiles whose *shape* was already in the structural cache
+    #: (an isomorphic plan compiled earlier — possibly by another session).
+    structural_hits: int = 0
+    #: Fresh compiles registering a new shape in the structural cache.
+    structural_misses: int = 0
     #: Number of batch executions (one per ``engine.sample`` / context fill).
     batches_executed: int = 0
     #: Number of node evaluations across all batches.
@@ -74,6 +84,8 @@ class PlanTelemetry:
     def reset(self) -> None:
         self.plans_compiled = 0
         self.plan_cache_hits = 0
+        self.structural_hits = 0
+        self.structural_misses = 0
         self.batches_executed = 0
         self.nodes_evaluated = 0
         self.samples_generated = 0
@@ -83,6 +95,8 @@ class PlanTelemetry:
         return {
             "plans_compiled": self.plans_compiled,
             "plan_cache_hits": self.plan_cache_hits,
+            "structural_hits": self.structural_hits,
+            "structural_misses": self.structural_misses,
             "batches_executed": self.batches_executed,
             "nodes_evaluated": self.nodes_evaluated,
             "samples_generated": self.samples_generated,
@@ -123,6 +137,14 @@ class PlanStep:
             self.opcode = OP_GENERAL
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ops = getattr(self, "ops", None)
+        if ops:
+            # Fused super-ops (repro.core.fused) list their constituent
+            # operations so traces and describe() stay debuggable.
+            return (
+                f"<{type(self).__name__} {self.slot}: {self.kind} "
+                f"[{', '.join(ops)}] <- {self.parent_slots}>"
+            )
         return f"<PlanStep {self.slot}: {self.kind} {self.node.label!r} <- {self.parent_slots}>"
 
 
@@ -140,7 +162,12 @@ class EvaluationPlan:
         "slot_of",
         "root_slot",
         "leaf_slots",
+        "optimization_level",
+        "provenance",
         "_program",
+        "_structural",
+        "_optimized",
+        "_fused",
         "__weakref__",
     )
 
@@ -157,7 +184,15 @@ class EvaluationPlan:
         self.slot_of = slot_of
         self.root_slot = slot_of[root]
         self.leaf_slots = tuple(s.slot for s in steps if not s.parent_slots)
+        #: 0 for a raw lowering; set by :meth:`optimized` (and preserved
+        #: through pickling) on plans produced by the optimizer pipeline.
+        self.optimization_level = 0
+        #: Pass-by-pass :class:`~repro.core.optimizer.PassRecord` trail.
+        self.provenance: tuple = ()
         self._program = None
+        self._structural = _UNSET
+        self._optimized = None
+        self._fused = None
 
     @property
     def program(self) -> tuple[tuple, ...]:
@@ -193,6 +228,46 @@ class EvaluationPlan:
             self._program = tuple(entries)
         return self._program
 
+    # -- compiler pipeline ---------------------------------------------------
+
+    @property
+    def structural_hash(self) -> str | None:
+        """Canonical structural key of this plan's shape (lazy, cached).
+
+        ``None`` marks an opaque plan (lambdas, user sampling functions)
+        that can never be shared structurally.  Computed through the
+        process-global :class:`~repro.core.structural.StructuralCache`,
+        so equal shapes across sessions resolve to the same key.
+        """
+        if self._structural is _UNSET:
+            key, _hit = STRUCTURAL_CACHE.key_for(self)
+            self._structural = key
+        return self._structural
+
+    def optimized(self, level: int = 2) -> "EvaluationPlan":
+        """This plan lowered through the optimizer pipeline at ``level``.
+
+        Cached per level; returns ``self`` when ``level`` is 0, when this
+        plan is already at (or above) the requested level, or when no
+        pass changes the graph.  See :mod:`repro.core.optimizer` for the
+        pass order and the bit-identity contract.
+        """
+        if not level or self.optimization_level >= level:
+            return self
+        cache = self._optimized
+        if cache is None:
+            cache = self._optimized = {}
+        plan = cache.get(level)
+        if plan is None:
+            from repro.core.optimizer import optimize_plan
+
+            plan, records = optimize_plan(self, level)
+            if plan is not self:
+                plan.optimization_level = level
+            plan.provenance = records
+            cache[level] = plan
+        return plan
+
     # -- introspection ------------------------------------------------------
 
     @property
@@ -220,8 +295,12 @@ class EvaluationPlan:
         # Plans serialise as their root graph and recompile on load: the
         # lowering is cheap and deterministic, and shipping the graph keeps
         # the payload small (no steps/program/bound methods).  This is what
-        # lets ParallelEngine send a plan to worker processes once.
-        return (_rebuild_plan, (self.root,))
+        # lets ParallelEngine send a plan to worker processes once.  The
+        # optimization level and structural hash travel along so an
+        # optimized plan does not silently unpickle as a raw one (the
+        # optimized *root* is shipped, so no pass re-runs on load) and
+        # receivers key their per-shape caches identically to the sender.
+        return (_rebuild_plan, (self.root, self.optimization_level, self.structural_hash))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -230,9 +309,23 @@ class EvaluationPlan:
         )
 
 
-def _rebuild_plan(root: Node) -> "EvaluationPlan":
-    """Unpickle target: recompile (and re-cache) the plan for ``root``."""
-    return compile_plan(root)
+def _rebuild_plan(
+    root: Node, optimization_level: int = 0, structural_hash=_UNSET
+) -> "EvaluationPlan":
+    """Unpickle target: recompile (and re-cache) the plan for ``root``.
+
+    The sender's optimization level and structural key are re-seeded on
+    the rebuilt plan: the shipped root already *is* the optimized root,
+    so marking the level prevents engines from re-running the passes, and
+    adopting the sender's structural key lets hash-keyed caches (fused
+    kernels, worker-side plan caches) hit without re-fingerprinting.
+    """
+    plan = compile_plan(root)
+    if structural_hash is not _UNSET:
+        plan._structural = structural_hash
+    if optimization_level and plan.optimization_level < optimization_level:
+        plan.optimization_level = optimization_level
+    return plan
 
 
 # ---------------------------------------------------------------------------
@@ -275,12 +368,25 @@ def compile_plan(
     with _trace.span("plan.compile", root=root.label) as span_attrs:
         plan = EvaluationPlan(root)
         span_attrs["slots"] = len(plan.steps)
+        # Stage 2: register the plan's shape in the structural cache.  A
+        # hit means an isomorphic plan (possibly from another session)
+        # already compiled — the signal the structural counters expose.
+        key, structural_hit = STRUCTURAL_CACHE.key_for(plan)
+        plan._structural = key
+        span_attrs["structural_hash"] = key
     root._compiled_plan = plan
     _PLANNED_ROOTS.add(root)
     if telemetry is not None:
         telemetry.plans_compiled += 1
+        if key is not None:
+            if structural_hit:
+                telemetry.structural_hits += 1
+            else:
+                telemetry.structural_misses += 1
     if metrics is not None:
         metrics.record_compile()
+        if key is not None:
+            metrics.record_structural(structural_hit)
     if analyze is not None:
         analyze(plan)
     return plan

@@ -48,9 +48,52 @@ class Distribution(abc.ABC):
     #: True when the distribution takes values on a countable set.
     discrete: bool = False
 
+    #: Attribute names that define this distribution structurally.  ``None``
+    #: (the default) means "every instance attribute" — right for simple
+    #: parametric families; subclasses that cache derived state (frozen
+    #: scipy objects, Cholesky factors, ...) narrow this to their defining
+    #: parameters so structural hashing sees through the cached extras.
+    structural_fields: "tuple[str, ...] | None" = None
+
     @abc.abstractmethod
     def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``n`` independent samples as a numpy array."""
+
+    # -- structural metadata (plan compiler) -------------------------------
+
+    def structural_params(self) -> "dict | None":
+        """Parameters that determine this distribution's sample stream.
+
+        Used by :mod:`repro.core.structural` to hash plan shapes: two leaf
+        nodes whose distributions share a class and equal structural
+        params are interchangeable.  Returns a plain mapping of raw values
+        (canonicalisation happens in the structural module); return
+        ``None`` to declare the distribution structurally opaque (never
+        shared across plans).  The default reflects over the instance
+        dict, restricted to :attr:`structural_fields` when set; values
+        with no canonical form (callables, exotic objects) make the
+        owning plan opaque automatically.
+        """
+        if self.structural_fields is not None:
+            return {name: getattr(self, name) for name in self.structural_fields}
+        return dict(getattr(self, "__dict__", {}))
+
+    def bulk_draw_spec(self) -> "tuple[str, float, float] | None":
+        """Affine reduction to a base generator draw, if one exists.
+
+        ``("standard_normal", loc, scale)`` declares that ``sample_n(n,
+        rng)`` is bit-identical to ``loc + scale * rng.standard_normal(n)``
+        (likewise ``"random"`` and ``"standard_exponential"``).  The fused
+        backend (:mod:`repro.core.fused`) uses this to coalesce runs of
+        adjacent leaf draws into one base-generator call plus per-leaf
+        affine slices — the single biggest win for leaf-heavy plans —
+        without changing the consumed RNG stream.  ``None`` (the default)
+        means "no such reduction"; generated kernels then call
+        :meth:`sample_n` directly.  Claims are verified empirically once
+        per plan shape against the reference engine, so a wrong spec
+        degrades to the unfused path rather than corrupting streams.
+        """
+        return None
 
     def sample(self, rng: np.random.Generator) -> Any:
         """Draw a single sample (scalar for scalar distributions)."""

@@ -21,6 +21,11 @@ class Exponential(Distribution):
     def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.exponential(1.0 / self.rate, size=n)
 
+    def bulk_draw_spec(self):
+        # ``rng.exponential(scale, n)`` is ``scale * standard_exponential``
+        # per value, so the affine form (loc 0) is bit-identical.
+        return ("standard_exponential", 0.0, 1.0 / self.rate)
+
     def log_pdf(self, x):
         x = np.asarray(x, dtype=float)
         return np.where(x >= 0, math.log(self.rate) - self.rate * x, -np.inf)

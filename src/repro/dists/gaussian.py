@@ -29,6 +29,14 @@ class Gaussian(Distribution):
             return np.full(n, self.mu)
         return rng.normal(self.mu, self.sigma, size=n)
 
+    def bulk_draw_spec(self):
+        # ``rng.normal(mu, sigma, n)`` computes ``mu + sigma * z`` per value
+        # (numpy's random_normal), so the affine-over-standard_normal form
+        # is bit-identical.  The degenerate sigma=0 path never draws.
+        if self.sigma == 0.0:
+            return None
+        return ("standard_normal", self.mu, self.sigma)
+
     def log_pdf(self, x):
         if self.sigma == 0.0:
             raise NotImplementedError("degenerate Gaussian has no density")
@@ -75,6 +83,9 @@ class TruncatedGaussian(Distribution):
         self._a = (self.lower - self.mu) / self.sigma
         self._b = (self.upper - self.mu) / self.sigma
         self._dist = stats.truncnorm(self._a, self._b, loc=self.mu, scale=self.sigma)
+
+    # The frozen scipy distribution is derived state; these four define it.
+    structural_fields = ("mu", "sigma", "lower", "upper")
 
     def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return self._dist.rvs(size=n, random_state=rng)

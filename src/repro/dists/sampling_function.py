@@ -30,6 +30,11 @@ class FunctionDistribution(Distribution):
     static analysis unsound for that graph.
     """
 
+    def structural_params(self):
+        # User sampling functions carry arbitrary behaviour (and state);
+        # two FunctionDistributions are never structurally interchangeable.
+        return None
+
     def __init__(
         self,
         fn: Callable[[np.random.Generator], Any],

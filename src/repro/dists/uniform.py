@@ -23,6 +23,11 @@ class Uniform(Distribution):
     def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.uniform(self.low, self.high, size=n)
 
+    def bulk_draw_spec(self):
+        # ``rng.uniform(low, high, n)`` computes ``low + (high-low) * u``
+        # per value, bit-identical to the affine over ``rng.random``.
+        return ("random", self.low, self.high - self.low)
+
     def log_pdf(self, x):
         x = np.asarray(x, dtype=float)
         inside = (x >= self.low) & (x <= self.high)

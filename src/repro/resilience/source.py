@@ -219,6 +219,11 @@ class ResilientSource(Distribution):
         self.failures = 0
         self.fallback_draws = 0
 
+    def structural_params(self):
+        # Sampling behaviour depends on runtime failures, breaker state and
+        # retry counters; hardened sources are never structurally shared.
+        return None
+
     @property
     def discrete(self) -> bool:  # type: ignore[override]
         return self.primary.discrete

@@ -68,6 +68,22 @@ class RuntimeMetrics:
     def record_cache_hit(self) -> None:
         self.plan_cache_hits += 1
 
+    def record_structural(self, hit: bool) -> None:
+        """One fresh compile checked against the structural plan cache."""
+        if hit:
+            self.structural_hits += 1
+        else:
+            self.structural_misses += 1
+
+    def record_fused(
+        self, built: int = 0, rejected: int = 0, kernel_hits: int = 0
+    ) -> None:
+        """Fused-backend events: kernels generated, verification rejections,
+        and plans served by an already-generated kernel (same shape)."""
+        self.fused_kernels_built += built
+        self.fused_kernels_rejected += rejected
+        self.fused_kernel_hits += kernel_hits
+
     def record_engine(self, engine: str, n: int, seconds: float) -> None:
         stats = self.engines.get(engine)
         if stats is None:
@@ -96,12 +112,15 @@ class RuntimeMetrics:
     def record_parallel(
         self, chunks: int = 0, retries: int = 0, crashes: int = 0,
         fallbacks: int = 0, serial_rescues: int = 0,
+        payload_skips: int = 0, payload_misses: int = 0,
     ) -> None:
         self.parallel_chunks += chunks
         self.parallel_retries += retries
         self.worker_crashes += crashes
         self.parallel_fallbacks += fallbacks
         self.parallel_serial_rescues += serial_rescues
+        self.parallel_payload_skips += payload_skips
+        self.parallel_payload_misses += payload_misses
 
     # -- resilience layer ---------------------------------------------------
 
@@ -140,6 +159,11 @@ class RuntimeMetrics:
         with self._lock:
             self.plans_compiled = 0
             self.plan_cache_hits = 0
+            self.structural_hits = 0
+            self.structural_misses = 0
+            self.fused_kernels_built = 0
+            self.fused_kernels_rejected = 0
+            self.fused_kernel_hits = 0
             self.engines: dict[str, EngineStats] = {}
             self.sprt_tests = 0
             self.sprt_steps = 0
@@ -155,6 +179,8 @@ class RuntimeMetrics:
             self.worker_crashes = 0
             self.parallel_fallbacks = 0
             self.parallel_serial_rescues = 0
+            self.parallel_payload_skips = 0
+            self.parallel_payload_misses = 0
             self.nonfinite_batches = 0
             self.nonfinite_rows = 0
             self.nonfinite_resamples = 0
@@ -179,6 +205,13 @@ class RuntimeMetrics:
                 "plans": {
                     "compiled": self.plans_compiled,
                     "cache_hits": self.plan_cache_hits,
+                    "structural_hits": self.structural_hits,
+                    "structural_misses": self.structural_misses,
+                },
+                "fused": {
+                    "kernels_built": self.fused_kernels_built,
+                    "kernels_rejected": self.fused_kernels_rejected,
+                    "kernel_hits": self.fused_kernel_hits,
                 },
                 "engines": {
                     name: stats.as_dict() for name, stats in self.engines.items()
@@ -206,6 +239,8 @@ class RuntimeMetrics:
                     "worker_crashes": self.worker_crashes,
                     "serial_fallbacks": self.parallel_fallbacks,
                     "serial_rescues": self.parallel_serial_rescues,
+                    "payload_skips": self.parallel_payload_skips,
+                    "payload_misses": self.parallel_payload_misses,
                 },
                 "health": {
                     "nonfinite_batches": self.nonfinite_batches,

@@ -29,9 +29,14 @@ layout and spawned seeds reproduces ``ParallelEngine`` exactly, which is
 what the determinism suite asserts.
 
 Worker protocol: the plan is pickled **once** in the parent (cached per
-plan), and each chunk descriptor ``(plan_id, payload, n, seed, inner)``
-lets a worker unpickle it at most once — workers keep a small plan cache
-keyed by ``plan_id``, so steady-state traffic is descriptors only.
+plan) and shipped to the pool **once per plan key** — the key is the
+plan's structural hash when it has one, so isomorphic plans (and every
+later batch over the same plan) travel as tiny descriptors
+``(plan_key, None, n, seed, inner)``.  Workers keep a small plan cache
+keyed by ``plan_key``; a worker that has not seen the key yet (a freshly
+spawned pool process) raises :class:`PlanPayloadMissing`, and the parent
+transparently re-sends those chunks *with* the payload — a cache-warming
+round trip, not a failure, so it never consumes the crash-retry budget.
 Unpicklable plans (lambdas in ``FunctionDistribution`` / ``ApplyNode``)
 fall back to serial in-process execution with the *same* sharded seeding,
 preserving results, and warn once per plan.
@@ -121,18 +126,29 @@ def spawn_chunk_seeds(rng: np.random.Generator, k: int) -> list:
 # ---------------------------------------------------------------------------
 
 _WORKER_PLAN_CACHE_LIMIT = 8
-_worker_plans: "OrderedDict[int, EvaluationPlan]" = OrderedDict()
+_worker_plans: "OrderedDict[str, EvaluationPlan]" = OrderedDict()
 
 
-def _run_chunk(plan_id: int, payload: bytes, n: int, seed_seq, inner: str):
-    plan = _worker_plans.get(plan_id)
+class PlanPayloadMissing(RuntimeError):
+    """A worker was handed a plan key it has never seen, with no payload.
+
+    Raised inside pool processes and unpickled in the parent, which
+    responds by re-submitting the affected chunks with the payload
+    attached (without consuming the crash-retry budget).
+    """
+
+
+def _run_chunk(plan_key: str, payload: "bytes | None", n: int, seed_seq, inner: str):
+    plan = _worker_plans.get(plan_key)
     if plan is None:
+        if payload is None:
+            raise PlanPayloadMissing(plan_key)
         plan = pickle.loads(payload)
-        _worker_plans[plan_id] = plan
+        _worker_plans[plan_key] = plan
         while len(_worker_plans) > _WORKER_PLAN_CACHE_LIMIT:
             _worker_plans.popitem(last=False)
     else:
-        _worker_plans.move_to_end(plan_id)
+        _worker_plans.move_to_end(plan_key)
     engine = get_engine(inner)
     values = engine.run(plan, n, np.random.default_rng(seed_seq))
     return values[plan.root_slot]
@@ -218,6 +234,10 @@ class ParallelEngine(ExecutionEngine):
         self._payloads: "weakref.WeakKeyDictionary[EvaluationPlan, tuple]" = (
             weakref.WeakKeyDictionary()
         )
+        #: Plan keys whose payload the *current* pool has already received;
+        #: cleared whenever the pool is discarded (fresh workers start with
+        #: empty caches).
+        self._shipped: set[str] = set()
         self._samples_drawn = 0
         _live_engines.add(self)
 
@@ -234,6 +254,7 @@ class ParallelEngine(ExecutionEngine):
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        self._shipped.clear()
 
     def shutdown(self) -> None:
         """Tear down the worker pool (a later run lazily rebuilds it)."""
@@ -247,7 +268,13 @@ class ParallelEngine(ExecutionEngine):
     # -- plan payloads ------------------------------------------------------
 
     def _payload_for(self, plan: EvaluationPlan) -> tuple:
-        """``(plan_id, pickled_bytes | None)`` — pickled once per plan."""
+        """``(plan_key, pickled_bytes | None)`` — pickled once per plan.
+
+        The key is the plan's structural hash when it has one, so
+        isomorphic plans (fresh graphs per session, rebuilt roots) share
+        one worker-side cache entry and pay the payload transfer once per
+        *shape*; opaque plans get a throwaway per-plan key.
+        """
         entry = self._payloads.get(plan)
         if entry is None:
             try:
@@ -263,7 +290,10 @@ class ParallelEngine(ExecutionEngine):
                     stacklevel=4,
                 )
                 data = None
-            entry = (next(_plan_ids), data)
+            key = plan.structural_hash
+            if key is None or data is None:
+                key = f"plan-{next(_plan_ids)}"
+            entry = (key, data)
             self._payloads[plan] = entry
         return entry
 
@@ -299,7 +329,7 @@ class ParallelEngine(ExecutionEngine):
         if telemetry is not None:
             telemetry.record_batch(n)
         metric = _metrics.active()
-        plan_id, payload = self._payload_for(plan)
+        plan_key, payload = self._payload_for(plan)
         serial = payload is None or len(chunks) == 1 or self.workers <= 1
         if metric is not None:
             metric.record_parallel(
@@ -313,26 +343,36 @@ class ParallelEngine(ExecutionEngine):
                 for size, seed in zip(chunks, seeds)
             ]
             return parts[0] if len(parts) == 1 else np.concatenate(parts)
-        return self._dispatch(plan, plan_id, payload, chunks, seeds, metric)
+        return self._dispatch(plan, plan_key, payload, chunks, seeds, metric)
 
-    def _dispatch(self, plan, plan_id, payload, chunks, seeds, metric) -> np.ndarray:
+    def _dispatch(self, plan, plan_key, payload, chunks, seeds, metric) -> np.ndarray:
         deadline_at = None if self.deadline is None else monotonic() + self.deadline
         results: list = [None] * len(chunks)
         todo = list(range(len(chunks)))
         rounds = 0
         last_error: BaseException | None = None
+        send_payload = plan_key not in self._shipped
         with _trace.span(
             "parallel.dispatch", chunks=len(chunks), workers=self.workers
         ) as span_attrs:
             while todo:
                 start = perf_counter()
+                chunk_payload = payload if send_payload else None
+                if chunk_payload is None and metric is not None:
+                    metric.record_parallel(payload_skips=len(todo))
                 futures = {
                     i: self._pool().submit(
-                        _run_chunk, plan_id, payload, chunks[i], seeds[i], self.inner
+                        _run_chunk,
+                        plan_key,
+                        chunk_payload,
+                        chunks[i],
+                        seeds[i],
+                        self.inner,
                     )
                     for i in todo
                 }
                 failed: list[int] = []
+                missed: list[int] = []
                 broken = False
                 for i, future in futures.items():
                     timeout = None
@@ -347,18 +387,32 @@ class ParallelEngine(ExecutionEngine):
                             f"deadline with {sum(r is None for r in results)} "
                             f"of {len(chunks)} chunks unfinished"
                         ) from None
+                    except PlanPayloadMissing:
+                        # A fresh worker process has an empty plan cache:
+                        # warm it by re-sending with the payload.  Not a
+                        # crash — does not consume the retry budget.
+                        missed.append(i)
                     except BrokenExecutor as exc:
                         broken = True
                         failed.append(i)
                         last_error = exc
                 if broken:
                     # A dead worker poisons the whole pool: rebuild it and
-                    # retry every chunk that has no result yet.
+                    # retry every chunk that has no result yet.  Rebuilding
+                    # also cleared ``_shipped``, so payloads travel again.
                     self._discard_pool()
+                    send_payload = True
                     if metric is not None:
                         metric.record_parallel(crashes=1, retries=len(failed))
+                if missed:
+                    send_payload = True
+                    if metric is not None:
+                        metric.record_parallel(payload_misses=len(missed))
                 if not failed:
-                    break
+                    if not missed:
+                        break
+                    todo = missed
+                    continue
                 rounds += 1
                 if rounds > self.max_retries:
                     if not self.serial_fallback:
@@ -381,7 +435,7 @@ class ParallelEngine(ExecutionEngine):
                         stacklevel=5,
                     )
                     inner = get_engine(self.inner)
-                    for i in failed:
+                    for i in failed + missed:
                         results[i] = inner.run(
                             plan, chunks[i], np.random.default_rng(seeds[i])
                         )[plan.root_slot]
@@ -393,9 +447,11 @@ class ParallelEngine(ExecutionEngine):
                         rounds=rounds,
                     )
                     break
-                todo = failed
+                todo = failed + missed
             span_attrs["seconds"] = perf_counter() - start
             span_attrs["retry_rounds"] = rounds
+        if payload is not None:
+            self._shipped.add(plan_key)
         return np.concatenate(results)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -272,6 +272,119 @@ class TestBudgetsAndDeadlines:
                 value.samples(10)
 
 
+class TestPlanPayloadProtocol:
+    """Structural-hash-keyed worker caches (docs/runtime.md).
+
+    A plan ships to the pool once per structural shape; subsequent
+    batches — including batches of *different* plan objects with the
+    same shape — send only the key.  A worker that misses its cache
+    raises ``PlanPayloadMissing`` and the parent re-sends transparently.
+    """
+
+    def test_payload_key_is_the_structural_hash(self):
+        engine = ParallelEngine(workers=2)
+        try:
+            plan = diamond().plan
+            key, data = engine._payload_for(plan)
+            assert key == plan.structural_hash
+            assert isinstance(data, bytes)
+        finally:
+            engine.shutdown()
+
+    def test_opaque_plan_gets_a_throwaway_key(self):
+        engine = ParallelEngine(workers=2)
+        try:
+            value = diamond().map(np.sqrt, vectorized=True).map(
+                np.abs, vectorized=True
+            )
+            opaque = Uncertain(
+                Gaussian(0.0, 1.0)
+            ).map(lambda v: v, vectorized=True)
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                key, data = engine._payload_for(opaque.plan)
+            assert key.startswith("plan-")
+            assert data is None
+            assert value.plan.structural_hash is not None
+        finally:
+            engine.shutdown()
+
+    def test_run_chunk_raises_on_worker_cache_miss(self):
+        from repro.runtime import parallel as par
+
+        par._worker_plans.pop("no-such-key", None)
+        with pytest.raises(par.PlanPayloadMissing):
+            par._run_chunk("no-such-key", None, 8, 0, "numpy")
+
+    def test_payload_ships_once_then_descriptors_only(self):
+        from repro.runtime.metrics import RuntimeMetrics
+
+        metrics = RuntimeMetrics()
+        plan = diamond().plan
+        engine = ParallelEngine(workers=2, chunk_size=512)
+        try:
+            with evaluation_config(metrics=metrics):
+                first = engine.run(plan, 2_048, np.random.default_rng(1))
+                assert plan.structural_hash in engine._shipped
+                second = engine.run(plan, 2_048, np.random.default_rng(1))
+            assert np.array_equal(
+                first[plan.root_slot], second[plan.root_slot]
+            )
+            snap = metrics.snapshot()["parallel"]
+            assert snap["payload_skips"] >= 4  # every chunk of run two
+        finally:
+            engine.shutdown()
+
+    def test_isomorphic_plans_share_one_shipment(self):
+        from repro.runtime.metrics import RuntimeMetrics
+
+        metrics = RuntimeMetrics()
+        p1 = diamond().plan
+        p2 = diamond().plan
+        assert p1 is not p2
+        assert p1.structural_hash == p2.structural_hash
+        engine = ParallelEngine(workers=2, chunk_size=512)
+        try:
+            with evaluation_config(metrics=metrics):
+                a = engine.run(p1, 2_048, np.random.default_rng(9))
+                b = engine.run(p2, 2_048, np.random.default_rng(9))
+            assert np.array_equal(a[p1.root_slot], b[p2.root_slot])
+            assert len(engine._shipped) == 1
+            assert metrics.snapshot()["parallel"]["payload_skips"] >= 4
+        finally:
+            engine.shutdown()
+
+    def test_cache_miss_is_resent_transparently(self):
+        from repro.runtime.metrics import RuntimeMetrics
+
+        metrics = RuntimeMetrics()
+        plan = diamond().plan
+        engine = ParallelEngine(workers=2, chunk_size=512)
+        try:
+            # Pretend the shape already shipped: the first dispatch sends
+            # bare descriptors, every fresh worker misses, and the engine
+            # must recover by re-sending the payload — same stream.
+            engine._shipped.add(plan.structural_hash)
+            with evaluation_config(metrics=metrics):
+                out = engine.run(plan, 2_048, np.random.default_rng(13))
+            assert np.array_equal(
+                out[plan.root_slot],
+                chunked_numpy_reference(plan, 2_048, 13, 512),
+            )
+            assert metrics.snapshot()["parallel"]["payload_misses"] >= 1
+        finally:
+            engine.shutdown()
+
+    def test_shutdown_forgets_shipped_shapes(self):
+        plan = diamond().plan
+        engine = ParallelEngine(workers=2, chunk_size=512)
+        try:
+            engine.run(plan, 2_048, np.random.default_rng(3))
+            assert engine._shipped
+        finally:
+            engine.shutdown()
+        assert not engine._shipped
+
+
 class TestEngineSelection:
     def test_parallel_engine_is_registered(self):
         engine = get_engine("parallel")
