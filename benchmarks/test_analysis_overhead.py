@@ -1,13 +1,17 @@
-"""Microbenchmark: interval analysis must stay cheap enough for compile time.
+"""Microbenchmark: static analysis must stay cheap enough for compile time.
 
 ``EvaluationConfig.enable_plan_analysis()`` runs the abstract interpreter
 once per freshly compiled plan, inside the sampling path.  For that to be
 a reasonable default to recommend, a full ``analyze_plan`` — interval
-inference plus all five rule checks — over a fig08-style
+*and* affine inference plus all rule checks — over a fig08-style
 shared-subexpression network has to complete in well under a millisecond.
-This bench builds such a graph (~60 slots, heavy node sharing, a mix of
-arithmetic, comparisons, point masses and a division), measures the pass,
-asserts the <1 ms budget, and records the numbers in the benchmark JSON.
+The same budget applies to the stream-safety certifier, which runs once
+per fresh kernel inside ``_prepare``: certifying a rewrite plus a fused
+kernel must also stay under a millisecond, or skipping the probe run
+would buy nothing.  This bench builds such a graph (~60 slots, heavy node
+sharing, a mix of arithmetic, comparisons, point masses and a division),
+measures both passes, asserts the <1 ms budgets, and records the numbers
+in the benchmark JSON.
 """
 
 from __future__ import annotations
@@ -15,7 +19,9 @@ from __future__ import annotations
 import time
 
 from repro.analysis import analyze_plan
+from repro.analysis.certify import certify_kernel, certify_rewrite
 from repro.analysis.intervals import infer_intervals
+from repro.core import fused as fused_mod
 from repro.core.plan import compile_plan
 from repro.core.uncertain import Uncertain
 from repro.dists import Gaussian, Uniform
@@ -75,4 +81,28 @@ def test_analysis_under_one_millisecond_per_plan(benchmark):
     assert best_full < BUDGET_SECONDS, (
         f"analyze_plan took {best_full * 1e3:.3f} ms, over the "
         f"{BUDGET_SECONDS * 1e3:.1f} ms compile-time budget"
+    )
+
+
+def test_certifier_under_one_millisecond_per_plan(benchmark):
+    plan = compile_plan(_fig08_style_root())
+    opt = plan.optimized(2)
+    spec = fused_mod._generate(opt, False)
+
+    def certify_both():
+        certify_rewrite(plan, opt)
+        return certify_kernel(spec, opt)
+
+    record = benchmark.pedantic(certify_both, rounds=REPEATS, iterations=1)
+    assert record.status == "certified"
+
+    best = _best_seconds(certify_both)
+    print(
+        f"\ncertification of {len(opt.steps)}-slot fig08-style plan: "
+        f"rewrite + kernel {best * 1e6:.0f} us "
+        f"(budget {BUDGET_SECONDS * 1e3:.1f} ms)"
+    )
+    assert best < BUDGET_SECONDS, (
+        f"certifier took {best * 1e3:.3f} ms, over the "
+        f"{BUDGET_SECONDS * 1e3:.1f} ms per-kernel budget"
     )

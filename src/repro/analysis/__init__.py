@@ -12,8 +12,17 @@ Two complementary passes over the two representations every
 2. **Source lint** (:mod:`repro.analysis.lint`) — an AST checker for the
    paper's uncertainty anti-patterns in user code: coercing estimates to
    facts (UNC201), branching on point estimates (UNC202), un-lifted
-   ``math.*`` calls (UNC203), and implicit conditionals in loops
-   (UNC204, opt-in).
+   ``math.*`` calls (UNC203), implicit conditionals in loops
+   (UNC204, opt-in), and chained comparisons on uncertain operands
+   (UNC205).
+
+The graph pass layers a dependence-tracking **affine domain**
+(:mod:`repro.analysis.affine`) on top of the intervals, which powers the
+correlation-aware rules (UNC106, UNC107) and the opt-in static bounds
+report (UNC100).  A third pass, **stream-safety certification**
+(:mod:`repro.analysis.certify`), proves optimizer rewrites and fused
+kernels RNG-stream-equivalent to the reference engine (UNC401 on
+failure) so the runtime can skip its probe execution.
 
 Entry points: ``python -m repro.analysis`` (CLI),
 ``Uncertain.diagnose()`` (per-value), and
@@ -21,6 +30,21 @@ Entry points: ``python -m repro.analysis`` (CLI),
 See ``docs/analysis.md`` for the full rule catalogue.
 """
 
+from repro.analysis.affine import (
+    AffineForm,
+    infer_affine,
+    leaf_variances,
+    sd_bounds,
+)
+from repro.analysis.certify import (
+    CertificationRecord,
+    DrawEvent,
+    certification_records,
+    certify_kernel,
+    certify_rewrite,
+    certify_value,
+    plan_draw_sequence,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     UncertaintyWarning,
@@ -36,21 +60,44 @@ from repro.analysis.lint import (
     lint_paths,
     lint_source,
 )
-from repro.analysis.report import render_json, render_text
-from repro.analysis.rules import ALL_RULES, GRAPH_RULES, LINT_RULES, Rule
+from repro.analysis.report import (
+    render_certification_json,
+    render_certification_text,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    CERTIFY_RULES,
+    GRAPH_RULES,
+    LINT_RULES,
+    Rule,
+)
 
 __all__ = [
+    "AffineForm",
+    "CertificationRecord",
     "Diagnostic",
+    "DrawEvent",
     "UncertaintyWarning",
     "Interval",
     "Rule",
     "ALL_RULES",
+    "CERTIFY_RULES",
     "GRAPH_RULES",
     "LINT_RULES",
     "analyze",
     "analyze_plan",
+    "certification_records",
+    "certify_kernel",
+    "certify_rewrite",
+    "certify_value",
+    "infer_affine",
     "infer_intervals",
     "inferred_supports",
+    "leaf_variances",
+    "plan_draw_sequence",
+    "sd_bounds",
     "warn_on_diagnostics",
     "lint_source",
     "lint_paths",
@@ -58,4 +105,6 @@ __all__ = [
     "LintSummary",
     "render_text",
     "render_json",
+    "render_certification_text",
+    "render_certification_json",
 ]

@@ -11,9 +11,14 @@ Two subcommands, one per pass::
     python -m repro.analysis graph div-by-zero [--json]
     python -m repro.analysis graph mypkg.mymod:build_graph
 
+    # static stream-safety certification of the plan corpus (UNC401)
+    python -m repro.analysis certify [target ...] [--json] [--output f.json]
+
 ``lint`` exits 1 when any error- or warning-severity finding survives
 suppression (pass ``--exit-zero`` to force success, e.g. for advisory CI
-steps); ``graph`` exits 1 only on error-severity findings.
+steps); ``graph`` exits 1 only on error-severity findings; ``certify``
+exits 1 on any UNC401 rejection (first-party plans must always certify
+or legitimately fall back to the probe).
 """
 
 from __future__ import annotations
@@ -62,6 +67,24 @@ def _build_parser() -> argparse.ArgumentParser:
     graph.add_argument("--json", action="store_true", help="emit a JSON report")
     graph.add_argument("--output", type=Path, default=None,
                        help="write the report to a file instead of stdout")
+
+    certify = sub.add_parser(
+        "certify",
+        help="static stream-safety certification of compiled plans "
+             "(UNC401): optimizer rewrites + fused kernels, no probe "
+             "execution",
+    )
+    certify.add_argument(
+        "targets", nargs="*",
+        help="corpus names or 'module.path:callable' specs; default: the "
+             "full built-in corpus (benchmark workloads + demos)",
+    )
+    certify.add_argument("--json", action="store_true",
+                         help="emit a JSON report")
+    certify.add_argument("--output", type=Path, default=None,
+                         help="write the report to a file instead of stdout")
+    certify.add_argument("--exit-zero", action="store_true",
+                         help="always exit 0, even with UNC401 rejections")
     return parser
 
 
@@ -123,10 +146,39 @@ def _slot_intervals(value):
     return infer_intervals(value.plan)
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.certify import certify_value
+    from repro.analysis.demos import CERTIFY_CORPUS
+    from repro.analysis.report import (
+        render_certification_json,
+        render_certification_text,
+    )
+
+    targets = args.targets or sorted(CERTIFY_CORPUS)
+    reports: dict[str, dict] = {}
+    for target in targets:
+        value = resolve_target(target, registry=CERTIFY_CORPUS)
+        start = time.perf_counter()
+        report = certify_value(value)
+        report["elapsed_ms"] = (time.perf_counter() - start) * 1e3
+        reports[target] = report
+    if args.json:
+        _emit(render_certification_json(reports), args.output)
+    else:
+        _emit(render_certification_text(reports), args.output)
+    if args.exit_zero:
+        return 0
+    return 1 if any(r["status"] == "rejected" for r in reports.values()) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
     return _cmd_graph(args)
 
 

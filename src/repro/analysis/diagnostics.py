@@ -19,6 +19,15 @@ that are visible *before any sampling runs*:
 - **UNC105** — a sub-DAG built only from point masses: every joint sample
   recomputes a constant; folding it would shrink the plan (reported with
   the estimated slot saving).
+- **UNC106** — a comparison the interval domain reports as undecided but
+  the affine (dependence-tracking) domain decides: correlation between
+  the operands collapses the difference to one side of zero, so the SPRT
+  is wasted work and only visible as such with dependence tracking.
+- **UNC107** — spurious independence: the two operands of a comparison,
+  ``-`` or ``/`` are *structurally identical* sub-DAGs drawing from
+  *disjoint* stochastic leaves — almost always a reconstruction of a
+  value that was meant to share its ancestors (the inverse of the
+  Figure 8 bug).
 
 Diagnostics are data, not text: the same records feed the text/JSON
 reporters, ``Uncertain.diagnose()``, and the opt-in compile-time hook
@@ -290,6 +299,130 @@ def _check_constant_folding(plan: EvaluationPlan, intervals: list[Interval]):
         )
 
 
+def _check_correlated_comparisons(plan: EvaluationPlan,
+                                  intervals: list[Interval], forms):
+    """UNC106: comparisons only the dependence-tracking domain decides."""
+    for step in plan.steps:
+        node = step.node
+        if not (isinstance(node, BinaryOpNode) and node.label in COMPARISON_SYMBOLS):
+            continue
+        left, right = node.parents
+        if left is right:
+            continue  # UNC104 owns self-comparisons.
+        if intervals[step.slot].is_point:
+            continue  # UNC103 owns interval-decidable comparisons.
+        result = forms[step.slot].range
+        if not result.is_point:
+            continue
+        a, b = step.parent_slots
+        shared = sorted(forms[a].symbols & forms[b].symbols)
+        verdict = "true" if result.lower == 1.0 else "false"
+        yield _diag(
+            "UNC106",
+            f"comparison {node.label!r} is statically {verdict}, but only "
+            "the dependence-tracking affine domain can see it: the operands "
+            f"share {len(shared)} stochastic leaf slot(s) and their "
+            "difference collapses to one side of zero, so Pr is exactly "
+            f"{'1' if verdict == 'true' else '0'} and the SPRT is wasted "
+            "work (invisible to interval analysis)",
+            step,
+            decided=verdict == "true",
+            shared_leaf_slots=shared,
+        )
+
+
+def _stochastic_leaf_slots(plan: EvaluationPlan) -> list[frozenset[int]]:
+    out: list[frozenset[int]] = [frozenset()] * len(plan.steps)
+    for step in plan.steps:
+        if step.parent_slots:
+            acc: set[int] = set()
+            for s in step.parent_slots:
+                acc |= out[s]
+            out[step.slot] = frozenset(acc)
+        elif not isinstance(step.node, PointMassNode):
+            out[step.slot] = frozenset((step.slot,))
+    return out
+
+
+def _subtree_fingerprint(plan: EvaluationPlan, slot: int, cache: dict):
+    """An exact local fingerprint of the sub-DAG below ``slot``.
+
+    Reachable slots are renumbered locally (ascending slot order is a
+    valid topological order), so two sub-DAGs get equal fingerprints iff
+    they are isomorphic *as DAGs* — unlike Merkle-style subtree hashing
+    this distinguishes ``x + x`` from ``x1 + x2``.  Returns ``None`` for
+    structurally opaque nodes (unhashable params or callables).
+    """
+    if slot in cache:
+        return cache[slot]
+    from repro.core.structural import StructuralOpaque, node_token
+
+    reachable: set[int] = set()
+    stack = [slot]
+    while stack:
+        s = stack.pop()
+        if s in reachable:
+            continue
+        reachable.add(s)
+        stack.extend(plan.steps[s].parent_slots)
+    ordered = sorted(reachable)
+    local = {s: i for i, s in enumerate(ordered)}
+    tokens = []
+    try:
+        for s in ordered:
+            step = plan.steps[s]
+            parents = tuple(local[p] for p in step.parent_slots)
+            tokens.append(node_token(step.node, parents))
+        fingerprint = tuple(tokens)
+    except StructuralOpaque:
+        fingerprint = None
+    cache[slot] = fingerprint
+    return fingerprint
+
+
+_UNC107_SYMBOLS = COMPARISON_SYMBOLS | {"-", "/"}
+
+
+def _check_spurious_independence(plan: EvaluationPlan,
+                                 intervals: list[Interval]):
+    """UNC107: identical reconstructions compared as if independent."""
+    stochastic = _stochastic_leaf_slots(plan)
+    cache: dict = {}
+    for step in plan.steps:
+        node = step.node
+        if not (isinstance(node, BinaryOpNode) and node.label in _UNC107_SYMBOLS):
+            continue
+        if len(step.parent_slots) != 2:
+            continue
+        a, b = step.parent_slots
+        if a == b:
+            continue
+        # Both operands must be composite (an iid leaf pair like
+        # Gaussian - Gaussian is idiomatic, not a bug) and stochastic.
+        if not plan.steps[a].parent_slots or not plan.steps[b].parent_slots:
+            continue
+        if not stochastic[a] or not stochastic[b]:
+            continue
+        if stochastic[a] & stochastic[b]:
+            continue  # genuinely shared ancestors: dependence is modeled.
+        fp_a = _subtree_fingerprint(plan, a, cache)
+        if fp_a is None or fp_a != _subtree_fingerprint(plan, b, cache):
+            continue
+        yield _diag(
+            "UNC107",
+            f"operands of {node.label!r} are structurally identical "
+            f"sub-DAGs ({len(fp_a)} node(s) each) built from disjoint "
+            "stochastic leaves; if they are meant to be the same quantity, "
+            "reuse one value so the dependence is modeled (rebuilding it "
+            "samples an independent copy and silently changes the "
+            "distribution of the result)",
+            step,
+            subtree_nodes=len(fp_a),
+            left_leaf_slots=sorted(stochastic[a]),
+            right_leaf_slots=sorted(stochastic[b]),
+        )
+
+
 def _has_apply_barrier(plan: EvaluationPlan, slot: int) -> bool:
     """Does the sub-DAG below ``slot`` contain an ``ApplyNode``?"""
     seen: set[int] = set()
@@ -315,7 +448,10 @@ def _optimizer_level() -> int:
 
 def analyze_plan(plan: EvaluationPlan) -> list[Diagnostic]:
     """Run every graph rule over ``plan``; returns diagnostics in slot order."""
+    from repro.analysis.affine import infer_affine
+
     intervals = infer_intervals(plan)
+    forms = infer_affine(plan, intervals)
     diagnostics: list[Diagnostic] = []
     for check in (
         _check_division,
@@ -325,6 +461,8 @@ def analyze_plan(plan: EvaluationPlan) -> list[Diagnostic]:
         _check_constant_folding,
     ):
         diagnostics.extend(check(plan, intervals))
+    diagnostics.extend(_check_correlated_comparisons(plan, intervals, forms))
+    diagnostics.extend(_check_spurious_independence(plan, intervals))
     diagnostics.sort(key=lambda d: (d.slot or 0, d.rule))
     return diagnostics
 

@@ -237,6 +237,26 @@ class _TaintVisitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # UNC205: a chained comparison (`a < x < b`) desugars to
+        # `a < x and x < b`, and `and` calls bool() on the first link —
+        # which silently collapses the intermediate evidence through a
+        # hypothesis test mid-expression, so the result is a plain bool
+        # gating a comparison instead of the joint evidence for
+        # `a < x < b`.
+        if len(node.ops) >= 2 and (
+            self.is_uncertain(node.left)
+            or any(self.is_uncertain(c) for c in node.comparators)
+        ):
+            self._report(
+                "UNC205", node,
+                "chained comparison on an uncertain operand desugars "
+                "through an implicit bool() that collapses the "
+                "intermediate evidence mid-expression; combine explicit "
+                "comparisons instead: `(a < x) & (x < b)`",
+            )
+        self.generic_visit(node)
+
     def _contains_estimate_call(self, node: ast.expr) -> bool:
         for sub in ast.walk(node):
             if (

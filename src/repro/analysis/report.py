@@ -45,3 +45,44 @@ def render_json(findings: Iterable[Diagnostic], **meta) -> str:
     }
     payload.update(meta)
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_certification_text(reports: dict[str, dict]) -> str:
+    """Human-readable listing of per-target certification reports.
+
+    ``reports`` maps target name to the dict produced by
+    :func:`repro.analysis.certify.certify_value` (plus optional
+    ``elapsed_ms``).  One block per target, one line per record, and a
+    closing tally of certified / probe / rejected verdicts.
+    """
+    lines: list[str] = []
+    tally = {"certified": 0, "probe": 0, "rejected": 0}
+    for name, report in reports.items():
+        tally[report["status"]] = tally.get(report["status"], 0) + 1
+        timing = (f", {report['elapsed_ms']:.3f} ms"
+                  if "elapsed_ms" in report else "")
+        lines.append(
+            f"{name}: {report['status']} "
+            f"({report['slots']} slot(s){timing})"
+        )
+        for record in report["records"]:
+            rule = f" [{record['rule']}]" if record.get("rule") else ""
+            lines.append(
+                f"  {record['name']}: {record['status']}{rule} — "
+                + "; ".join(record["reasons"])
+            )
+    lines.append(
+        f"certified {tally['certified']}, probe {tally['probe']}, "
+        f"rejected {tally['rejected']} of {len(reports)} plan(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_certification_json(reports: dict[str, dict]) -> str:
+    """JSON document for the CI artifact: per-target certification."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "mode": "certify",
+        "targets": reports,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

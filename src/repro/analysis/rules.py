@@ -38,6 +38,10 @@ class Rule:
 
 
 GRAPH_RULES = {
+    "UNC100": Rule("UNC100", INFO,
+                   "static bound report: affine-inferred support and "
+                   "standard-deviation upper bound for a slot",
+                   opt_in=True),
     "UNC101": Rule("UNC101", ERROR,
                    "division by a quantity whose support contains zero"),
     "UNC102": Rule("UNC102", ERROR,
@@ -52,6 +56,15 @@ GRAPH_RULES = {
                    "constant (point-mass-only) sub-DAG: folded by the "
                    "optimizer's constant-fold pass when enabled, otherwise "
                    "a re-evaluation cost on every joint sample"),
+    "UNC106": Rule("UNC106", WARNING,
+                   "correlation-collapsed comparison: decided by the "
+                   "dependence-tracking affine domain but invisible to "
+                   "intervals, so the hypothesis test is wasted work"),
+    "UNC107": Rule("UNC107", WARNING,
+                   "spurious independence: structurally identical operand "
+                   "sub-DAGs built from disjoint stochastic leaves, "
+                   "typically a reconstruction of a value that should "
+                   "share its ancestors"),
 }
 
 RUNTIME_RULES = {
@@ -74,6 +87,18 @@ LINT_RULES = {
                    "implicit conditional inside a loop; prefer an explicit "
                    ".pr(alpha) with a stated evidence threshold",
                    opt_in=True),
+    "UNC205": Rule("UNC205", ERROR,
+                   "chained comparison on an uncertain operand desugars "
+                   "through an implicit bool(); write (a < x) & (x < b)"),
 }
 
-ALL_RULES = {**GRAPH_RULES, **RUNTIME_RULES, **LINT_RULES}
+#: ``UNC4xx`` rules are compiler-certification findings produced by the
+#: static stream-safety certifier (:mod:`repro.analysis.certify`).
+CERTIFY_RULES = {
+    "UNC401": Rule("UNC401", ERROR,
+                   "rewrite or fused kernel could not be certified "
+                   "stream-safe: its RNG consumption sequence is not "
+                   "provably identical to the reference plan"),
+}
+
+ALL_RULES = {**GRAPH_RULES, **RUNTIME_RULES, **LINT_RULES, **CERTIFY_RULES}

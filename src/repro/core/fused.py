@@ -32,14 +32,23 @@ What the generated kernel fuses:
   constant-fold pass) are bound once at kernel-build time and used as
   scalars where broadcasting keeps the result identical.
 
-Safety: every freshly generated kernel is **verified before first use** —
-executed against :class:`~repro.core.engines.NumpyEngine` on the same plan
-for multiple seeds and batch sizes and required to produce bit-identical
-arrays (values *and* dtype).  A kernel that fails verification — or a plan
-with no structural hash (lambdas, opaque sources) — falls back to the
-inner engine, with the rejection recorded in runtime metrics.  The
-bit-identity contract of :mod:`repro.core.optimizer` is therefore enforced
-twice: by construction and by test.
+Safety: every freshly generated kernel is **admitted before first use**,
+now in two tiers.  First the static stream-safety certifier
+(:mod:`repro.analysis.certify`) tries to *prove* the kernel consumes the
+RNG stream exactly as the reference engine — trusted bulk-draw families,
+contiguous coalesced runs, delegated sources, NEP 50-safe inlined
+scalars.  A certified kernel skips probe execution entirely (counted as
+``kernels_certified``); a kernel the analysis cannot model is executed
+against :class:`~repro.core.engines.NumpyEngine` on the same plan for
+multiple seeds and batch sizes and required to produce bit-identical
+arrays, values *and* dtype (``kernels_probed``); a kernel the analysis
+*refutes* is rejected outright with rule UNC401.  A kernel that fails
+either gate — or a plan with no structural hash (lambdas, opaque
+sources) — falls back to the inner engine, with the rejection recorded
+in runtime metrics and the :class:`CertificationRecord` attached to
+``plan.provenance``.  The bit-identity contract of
+:mod:`repro.core.optimizer` is therefore enforced three ways: by
+construction, by proof, and by test.
 
 ``numexpr`` acceleration for long arithmetic chains is available behind a
 feature flag (``FusedEngine(use_numexpr=True)`` or the
@@ -191,7 +200,7 @@ class _KernelSpec:
 
     __slots__ = (
         "source", "factory", "steps_meta", "s_slots", "f_slots", "g_slots",
-        "k_slots", "runs", "uses_numexpr", "verified",
+        "k_slots", "runs", "uses_numexpr", "verified", "certification",
     )
 
     def __init__(self):
@@ -205,6 +214,7 @@ class _KernelSpec:
         self.runs = ()  # (family, (slot, ...)) per coalesced draw
         self.uses_numexpr = False
         self.verified = False
+        self.certification = None  # CertificationRecord (shared per shape)
 
 
 def _binding_args(spec: _KernelSpec, plan: EvaluationPlan):
@@ -541,6 +551,17 @@ class _BoundKernel:
         self.program = program
 
 
+def _attach_certification(plan: EvaluationPlan, record) -> None:
+    """Append the kernel's CertificationRecord to ``plan.provenance``.
+
+    Identity comparison, not equality: this runs on every kernel-cache
+    hit, and a structural compare of the draw sequence would cost more
+    than the dispatch it decorates.
+    """
+    if record is not None and not any(r is record for r in plan.provenance):
+        plan.provenance = tuple(plan.provenance) + (record,)
+
+
 #: Sentinel: this plan cannot be fused; always use the inner engine.
 _FALLBACK = object()
 
@@ -554,6 +575,10 @@ def kernel_cache_stats() -> dict:
             "size": len(_kernel_cache),
             "limit": _KERNEL_CACHE_LIMIT,
             "verified": sum(1 for s in _kernel_cache.values() if s.verified),
+            "certified": sum(
+                1 for s in _kernel_cache.values()
+                if s.certification is not None and s.certification.certified
+            ),
         }
 
 
@@ -599,16 +624,51 @@ def _prepare(plan: EvaluationPlan, use_numexpr):
             return _FALLBACK
     if not fresh and not spec.verified:
         # A previous plan of this shape failed verification: don't retry.
+        _attach_certification(plan, spec.certification)
         plan._fused = _FALLBACK
         return _FALLBACK
+    if fresh:
+        # Static stream-safety certification (UNC401): a certified kernel
+        # provably consumes the RNG stream exactly as the reference engine
+        # and skips the probe run; a "probe" verdict falls through to the
+        # dynamic bit-identity check below.
+        from repro.analysis.certify import certify_kernel
+
+        spec.certification = certify_kernel(spec, plan)
+        if spec.certification.status == "rejected":
+            reasons = "; ".join(spec.certification.reasons)
+            warnings.warn(
+                f"fused kernel for plan {digest} rejected "
+                f"({spec.certification.rule}: {reasons}); "
+                "falling back to numpy",
+                FusedFallbackWarning,
+                stacklevel=3,
+            )
+            if metrics is not None:
+                metrics.record_fused(rejected=1)
+            spec.verified = False
+            with _kernel_lock:
+                _kernel_cache[digest] = spec
+                while len(_kernel_cache) > _KERNEL_CACHE_LIMIT:
+                    _kernel_cache.popitem(last=False)
+            _attach_certification(plan, spec.certification)
+            plan._fused = _FALLBACK
+            return _FALLBACK
+    certified = spec.certification is not None and spec.certification.certified
     try:
         S, F, G, K, R = _binding_args(spec, plan)
         kernel = spec.factory(np, _chk, S, F, G, K, R, _numexpr())
-        if fresh and not _verify(kernel, plan, reference):
+        if fresh and not certified and not _verify(kernel, plan, reference):
             raise _VerificationFailed(digest)
     except Exception as exc:
         if isinstance(exc, _VerificationFailed):
-            detail = "output diverged from the numpy engine"
+            detail = "UNC401: output diverged from the numpy engine"
+            record = spec.certification
+            if record is not None and record.reasons:
+                detail += (
+                    "; static certification had deferred to the probe: "
+                    + "; ".join(record.reasons)
+                )
         else:
             detail = f"{type(exc).__name__}: {exc}"
         warnings.warn(
@@ -624,6 +684,7 @@ def _prepare(plan: EvaluationPlan, use_numexpr):
             _kernel_cache[digest] = spec
             while len(_kernel_cache) > _KERNEL_CACHE_LIMIT:
                 _kernel_cache.popitem(last=False)
+        _attach_certification(plan, spec.certification)
         plan._fused = _FALLBACK
         return _FALLBACK
     if fresh:
@@ -633,9 +694,14 @@ def _prepare(plan: EvaluationPlan, use_numexpr):
             while len(_kernel_cache) > _KERNEL_CACHE_LIMIT:
                 _kernel_cache.popitem(last=False)
         if metrics is not None:
-            metrics.record_fused(built=1)
+            metrics.record_fused(
+                built=1,
+                certified=1 if certified else 0,
+                probed=0 if certified else 1,
+            )
     elif metrics is not None:
         metrics.record_fused(kernel_hits=1)
+    _attach_certification(plan, spec.certification)
     steps = plan.steps
     program = FusedProgram(
         digest,

@@ -309,11 +309,14 @@ def optimize_plan(plan, level: int = 2):
     # Safety gate: the optimized plan must evaluate the same stochastic
     # source objects in the same order, or the RNG stream would diverge
     # from the reference engines.  The passes above preserve this by
-    # construction; if a future pass (or an exotic node kind) breaks it,
-    # the optimization is rejected, not silently applied.
-    original_sources = [s.node for s in plan.steps if is_stochastic(s.node)]
-    optimized_sources = [s.node for s in optimized.steps if is_stochastic(s.node)]
-    if original_sources != optimized_sources:
+    # construction; the static stream-safety certifier
+    # (repro.analysis.certify) proves it per rewrite, emitting a
+    # CertificationRecord into provenance — an uncertifiable rewrite is
+    # rejected with UNC401, not silently applied.
+    from repro.analysis.certify import certify_rewrite
+
+    certificate = certify_rewrite(plan, optimized)
+    if not certificate.certified:
         records.append(
             PassRecord(
                 "dead-slot-elim",
@@ -326,6 +329,7 @@ def optimize_plan(plan, level: int = 2):
                 ),
             )
         )
+        records.append(certificate)
         return plan, tuple(records)
     records.append(
         PassRecord(
@@ -338,6 +342,7 @@ def optimize_plan(plan, level: int = 2):
             ),
         )
     )
+    records.append(certificate)
     return optimized, tuple(records)
 
 

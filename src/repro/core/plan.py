@@ -187,7 +187,10 @@ class EvaluationPlan:
         #: 0 for a raw lowering; set by :meth:`optimized` (and preserved
         #: through pickling) on plans produced by the optimizer pipeline.
         self.optimization_level = 0
-        #: Pass-by-pass :class:`~repro.core.optimizer.PassRecord` trail.
+        #: Compiler provenance trail: pass-by-pass
+        #: :class:`~repro.core.optimizer.PassRecord` entries plus
+        #: :class:`~repro.analysis.certify.CertificationRecord` entries
+        #: from the static stream-safety certifier (rewrite + kernel).
         self.provenance: tuple = ()
         self._program = None
         self._structural = _UNSET
@@ -267,6 +270,20 @@ class EvaluationPlan:
             plan.provenance = records
             cache[level] = plan
         return plan
+
+    def certification_records(self) -> tuple:
+        """Stream-safety :class:`CertificationRecord` entries in provenance.
+
+        One ``stream-certify`` record per optimizer rewrite and one
+        ``kernel-certify`` record per fused-kernel admission decision;
+        empty for plans that were never optimized or fused.
+        """
+        return tuple(
+            r for r in self.provenance
+            if getattr(r, "subject", None) in (
+                "optimizer-rewrite", "fused-kernel",
+            )
+        )
 
     # -- introspection ------------------------------------------------------
 

@@ -338,15 +338,17 @@ class Uncertain:
 
         return condition(self, evidence, **kwargs)
 
-    def diagnose(self, samples: int = 0, rng=None) -> list:
+    def diagnose(self, samples: int = 0, rng=None, *,
+                 bounds: bool = False) -> list:
         """Diagnostics for this value's Bayesian network.
 
-        Runs the interval abstract interpreter of :mod:`repro.analysis`
-        over the compiled plan and returns the
+        Runs the interval and affine abstract interpreters of
+        :mod:`repro.analysis` over the compiled plan and returns the
         :class:`~repro.analysis.Diagnostic` records — division by
         zero-crossing supports, statically decided comparisons,
-        foldable constant sub-DAGs, and friends — without drawing a
-        single sample.  See ``docs/analysis.md`` for the rule catalogue.
+        correlation-collapsed comparisons, foldable constant sub-DAGs,
+        and friends — without drawing a single sample.  See
+        ``docs/analysis.md`` for the rule catalogue.
 
         With ``samples > 0``, additionally executes a probe batch of
         that many joint samples and appends one runtime **UNC301**
@@ -355,13 +357,47 @@ class Uncertain:
         The probe uses its own deterministic RNG (seed 0 unless ``rng``
         is given) so diagnosing never perturbs the ambient sample
         stream.
+
+        With ``bounds=True``, appends one opt-in **UNC100** info
+        diagnostic for the root: the affine-inferred support and a sound
+        standard-deviation upper bound (``inf`` when nothing bounds it).
         """
         from repro.analysis.diagnostics import analyze_plan
 
         diagnostics = list(analyze_plan(self.plan))
+        if bounds:
+            diagnostics.append(self._bounds_diagnostic())
         if samples:
             diagnostics.extend(self._runtime_diagnostics(int(samples), rng))
         return diagnostics
+
+    def _bounds_diagnostic(self):
+        """The UNC100 static bound report for this value's root slot."""
+        from repro.analysis.affine import infer_affine, sd_bounds
+        from repro.analysis.diagnostics import Diagnostic
+        from repro.analysis.rules import ALL_RULES
+
+        plan = self.plan
+        forms = infer_affine(plan)
+        slot = plan.root_slot
+        support = forms[slot].range
+        sd = sd_bounds(plan, forms)[slot]
+        rule = ALL_RULES["UNC100"]
+        return Diagnostic(
+            rule=rule.id,
+            severity=rule.severity,
+            message=(
+                f"static bounds: support {support}, "
+                f"sd <= {sd:.6g} (affine domain, sound upper bounds)"
+            ),
+            slot=slot,
+            node_uid=plan.steps[slot].node.uid,
+            node_label=plan.steps[slot].node.label,
+            data={
+                "support": [support.lower, support.upper],
+                "sd_bound": sd,
+            },
+        )
 
     def _runtime_diagnostics(self, n: int, rng) -> list:
         """Probe ``n`` joint samples and report UNC301 non-finite findings."""

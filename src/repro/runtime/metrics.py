@@ -76,13 +76,18 @@ class RuntimeMetrics:
             self.structural_misses += 1
 
     def record_fused(
-        self, built: int = 0, rejected: int = 0, kernel_hits: int = 0
+        self, built: int = 0, rejected: int = 0, kernel_hits: int = 0,
+        certified: int = 0, probed: int = 0,
     ) -> None:
         """Fused-backend events: kernels generated, verification rejections,
-        and plans served by an already-generated kernel (same shape)."""
+        plans served by an already-generated kernel (same shape), and how
+        fresh kernels were admitted — statically certified stream-safe
+        (probe run skipped) vs dynamically probe-verified."""
         self.fused_kernels_built += built
         self.fused_kernels_rejected += rejected
         self.fused_kernel_hits += kernel_hits
+        self.fused_kernels_certified += certified
+        self.fused_kernels_probed += probed
 
     def record_engine(self, engine: str, n: int, seconds: float) -> None:
         stats = self.engines.get(engine)
@@ -164,6 +169,8 @@ class RuntimeMetrics:
             self.fused_kernels_built = 0
             self.fused_kernels_rejected = 0
             self.fused_kernel_hits = 0
+            self.fused_kernels_certified = 0
+            self.fused_kernels_probed = 0
             self.engines: dict[str, EngineStats] = {}
             self.sprt_tests = 0
             self.sprt_steps = 0
@@ -212,6 +219,8 @@ class RuntimeMetrics:
                     "kernels_built": self.fused_kernels_built,
                     "kernels_rejected": self.fused_kernels_rejected,
                     "kernel_hits": self.fused_kernel_hits,
+                    "kernels_certified": self.fused_kernels_certified,
+                    "kernels_probed": self.fused_kernels_probed,
                 },
                 "engines": {
                     name: stats.as_dict() for name, stats in self.engines.items()

@@ -1,0 +1,270 @@
+"""Affine (zonotope) domain tests: exactness, tightness, and soundness.
+
+Three layers:
+
+1. **Exactness on linear cancellation** — the headline capability the
+   interval domain cannot have: ``x - x`` is exactly ``[0, 0]``,
+   ``(a + b) - a`` carries exactly ``b``'s support, and comparisons such
+   as ``x + 1 > x`` are statically decided.
+2. **Tightness** — for every slot of every plan we test, the affine
+   concretization is a subset of the interval result (the affine domain
+   is never *worse* than intervals, by construction of the final meet).
+3. **Soundness** — the sampled envelope of every slot lies inside the
+   affine concretization, over randomized fig08-style plans.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.affine import (
+    AffineForm,
+    decide_comparison,
+    infer_affine,
+    leaf_variances,
+    sd_bounds,
+)
+from repro.analysis.intervals import (
+    BOOL,
+    FALSE,
+    TRUE,
+    Interval,
+    infer_intervals,
+)
+from repro.core.plan import compile_plan
+from repro.core.uncertain import Uncertain
+from repro.dists import Exponential, Gaussian, Uniform
+from repro.rng import default_rng
+
+
+def _forms(value: Uncertain):
+    plan = compile_plan(value.node)
+    return plan, infer_affine(plan)
+
+
+def _root_range(value: Uncertain) -> Interval:
+    plan, forms = _forms(value)
+    return forms[plan.root_slot].range
+
+
+class TestLinearCancellation:
+    def test_x_minus_x_is_exactly_zero(self):
+        x = Uncertain(Uniform(0.0, 1.0))
+        assert _root_range(x - x) == Interval(0.0, 0.0)
+
+    def test_x_minus_x_gaussian_is_exactly_zero(self):
+        # Unbounded support: the interval domain infers TOP here.
+        x = Uncertain(Gaussian(0.0, 1.0))
+        assert _root_range(x - x) == Interval(0.0, 0.0)
+
+    def test_sum_minus_shared_term_has_other_support(self):
+        a = Uncertain(Gaussian(0.0, 1.0))
+        b = Uncertain(Uniform(2.0, 5.0))
+        assert _root_range((a + b) - a) == Interval(2.0, 5.0)
+
+    def test_scaled_cancellation(self):
+        x = Uncertain(Uniform(-1.0, 1.0))
+        assert _root_range(2.0 * x - x - x) == Interval(0.0, 0.0)
+
+    def test_partial_cancellation_is_tighter_than_interval(self):
+        x = Uncertain(Uniform(0.0, 1.0))
+        value = (x + x) - x  # concretely just x, i.e. [0, 1]
+        plan = compile_plan(value.node)
+        affine = infer_affine(plan)[plan.root_slot].range
+        interval = infer_intervals(plan)[plan.root_slot]
+        assert affine == Interval(0.0, 1.0)
+        # The non-relational interval domain sees [0,2] - [0,1] = [-1, 2].
+        assert interval.lower < affine.lower or interval.upper > affine.upper
+
+    def test_comparison_decided_by_cancellation(self):
+        x = Uncertain(Gaussian(0.0, 1.0))
+        assert _root_range((x + 1.0) > x) == TRUE
+        assert _root_range((x - 1.0) > x) == FALSE
+        assert _root_range(x == x) == TRUE
+
+    def test_unrelated_comparison_stays_undecided(self):
+        a = Uncertain(Gaussian(0.0, 1.0))
+        b = Uncertain(Gaussian(0.0, 1.0))
+        result = _root_range(a > b)
+        assert not result.is_point
+
+
+class TestDecideComparison:
+    def test_strict_less(self):
+        assert decide_comparison("<", Interval(-3.0, -1.0)) is TRUE
+        assert decide_comparison("<", Interval(0.0, 2.0)) is FALSE
+        assert decide_comparison("<", Interval(-1.0, 1.0)) is BOOL
+
+    def test_equality_only_at_exact_zero(self):
+        assert decide_comparison("==", Interval(0.0, 0.0)) is TRUE
+        assert decide_comparison("==", Interval(1.0, 2.0)) is FALSE
+        assert decide_comparison("==", Interval(0.0, 1.0)) is BOOL
+        assert decide_comparison("!=", Interval(0.0, 0.0)) is FALSE
+
+
+class TestAffineFormAlgebra:
+    def test_from_interval_concretizes_to_itself(self):
+        form = AffineForm.from_interval(Interval(1.0, 3.0))
+        assert form.range == Interval(1.0, 3.0)
+        assert not form.symbols
+
+    def test_constant(self):
+        form = AffineForm.constant(4.5)
+        assert form.range == Interval(4.5, 4.5)
+        assert form.is_linear
+
+    def test_multiplication_by_point_is_exact(self):
+        x = Uncertain(Uniform(0.0, 1.0))
+        assert _root_range(x * 3.0 - x - x - x) == Interval(0.0, 0.0)
+
+    def test_division_by_point_is_exact(self):
+        x = Uncertain(Uniform(0.0, 2.0))
+        assert _root_range(x / 2.0 + x / 2.0 - x) == Interval(0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Randomized fig08-style plans: sliding sums over shared leaves, point-mass
+# scale chains, differences of overlapping windows, and a final comparison.
+# Every plan heavily shares subexpressions, which is exactly the regime
+# where the affine domain must beat intervals while staying sound.
+# ---------------------------------------------------------------------------
+
+
+def _random_plan(rng: random.Random) -> Uncertain:
+    leaves = []
+    for _ in range(rng.randint(3, 6)):
+        kind = rng.choice(["gauss", "uniform", "expo"])
+        if kind == "gauss":
+            leaves.append(Uncertain(Gaussian(rng.uniform(-2, 2), 0.5)))
+        elif kind == "uniform":
+            lo = rng.uniform(-3, 0)
+            leaves.append(Uncertain(Uniform(lo, lo + rng.uniform(0.5, 3))))
+        else:
+            leaves.append(Uncertain(Exponential(rng.uniform(0.5, 2.0))))
+    exprs = list(leaves)
+    for _ in range(rng.randint(4, 10)):
+        op = rng.choice(["+", "-", "*", "scale", "neg", "abs", "window"])
+        a = rng.choice(exprs)
+        b = rng.choice(exprs)
+        if op == "+":
+            exprs.append(a + b)
+        elif op == "-":
+            exprs.append(a - b)
+        elif op == "*":
+            exprs.append(a * b)
+        elif op == "scale":
+            exprs.append(a * rng.choice([0.5, 2.0, -1.0, 10.0]))
+        elif op == "neg":
+            exprs.append(-a)
+        elif op == "abs":
+            exprs.append(abs(a))
+        else:  # overlapping-window difference, the fig08 shape
+            shared = a + b
+            exprs.append((shared + a) - (shared + b))
+    return exprs[-1]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_affine_is_tight_and_sound_on_random_plans(seed):
+    rng = random.Random(seed)
+    value = _random_plan(rng)
+    plan = compile_plan(value.node)
+    intervals = infer_intervals(plan)
+    forms = infer_affine(plan, intervals)
+
+    # Tightness: affine concretization within the interval result, per slot.
+    for slot, (form, interval) in enumerate(zip(forms, intervals)):
+        assert form.range.lower >= interval.lower - 1e-9, (
+            f"slot {slot}: affine lower {form.range.lower} below "
+            f"interval lower {interval.lower}"
+        )
+        assert form.range.upper <= interval.upper + 1e-9, (
+            f"slot {slot}: affine upper {form.range.upper} above "
+            f"interval upper {interval.upper}"
+        )
+
+    # Soundness: the sampled envelope of every slot is inside the affine
+    # concretization (tolerance scaled to the magnitude for float error).
+    samples = 2_000
+    np_rng = default_rng(seed)
+    from repro.core.engines import get_engine
+
+    buffers = get_engine("numpy").run(plan, samples, np_rng)
+    for slot, form in enumerate(forms):
+        data = np.asarray(buffers[slot], dtype=float)
+        finite = data[np.isfinite(data)]
+        if finite.size == 0:
+            continue
+        tol = 1e-9 * max(1.0, abs(finite).max())
+        assert finite.min() >= form.range.lower - tol, (
+            f"slot {slot}: sampled min {finite.min()} below affine "
+            f"lower {form.range.lower}"
+        )
+        assert finite.max() <= form.range.upper + tol, (
+            f"slot {slot}: sampled max {finite.max()} above affine "
+            f"upper {form.range.upper}"
+        )
+
+
+class TestVarianceBounds:
+    def test_gaussian_leaf_variance(self):
+        x = Uncertain(Gaussian(0.0, 2.0))
+        plan = compile_plan(x.node)
+        assert leaf_variances(plan)[plan.root_slot] == pytest.approx(4.0)
+
+    def test_x_minus_x_has_zero_sd(self):
+        x = Uncertain(Gaussian(0.0, 3.0))
+        plan = compile_plan((x - x).node)
+        assert sd_bounds(plan)[plan.root_slot] == pytest.approx(0.0)
+
+    def test_linear_combination_sd(self):
+        # sd(2x + y) = sqrt(4·1 + 4) for independent x ~ N(·,1), y ~ N(·,2)
+        x = Uncertain(Gaussian(0.0, 1.0))
+        y = Uncertain(Gaussian(0.0, 2.0))
+        plan = compile_plan((2.0 * x + y).node)
+        assert sd_bounds(plan)[plan.root_slot] == pytest.approx(math.sqrt(8.0))
+
+    def test_sampled_sd_below_bound(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            value = _random_plan(rng)
+            plan = compile_plan(value.node)
+            bound = sd_bounds(plan)[plan.root_slot]
+            data = np.asarray(
+                value.samples(4_000, default_rng(11)), dtype=float
+            )
+            finite = data[np.isfinite(data)]
+            if finite.size < 2 or not math.isfinite(bound):
+                continue
+            # The bound is *exact* (not just an upper bound) for pure
+            # linear-Gaussian plans, so allow a few standard errors of
+            # sampling noise: se(std)/std ~ 1/sqrt(2n) ~ 1.1% at n=4000.
+            assert finite.std() <= bound * 1.05 + 1e-9
+
+    def test_popoviciu_bound_for_unknown_variance(self):
+        # A bounded leaf with no variance attribute still gets a finite
+        # bound from Popoviciu's inequality on its support width.
+        x = Uncertain(Uniform(0.0, 4.0))
+        plan = compile_plan(x.node)
+        bound = sd_bounds(plan)[plan.root_slot]
+        assert bound <= 2.0 + 1e-12  # (4-0)/2
+        assert bound >= math.sqrt(4.0 / 3.0) - 1e-9  # true sd ~ 1.1547
+
+
+class TestDiagnoseBounds:
+    def test_bounds_diagnostic_opt_in(self):
+        x = Uncertain(Uniform(0.0, 1.0))
+        value = (x + x) - x
+        diags = value.diagnose(bounds=True)
+        unc100 = [d for d in diags if d.rule == "UNC100"]
+        assert len(unc100) == 1
+        assert unc100[0].data["support"] == [0.0, 1.0]
+        assert unc100[0].data["sd_bound"] <= 0.5 + 1e-12
+
+    def test_bounds_off_by_default(self):
+        x = Uncertain(Uniform(0.0, 1.0))
+        assert not [d for d in x.diagnose() if d.rule == "UNC100"]

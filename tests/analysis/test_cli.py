@@ -115,8 +115,54 @@ class TestGraphCommand:
             assert isinstance(resolve_target(name), Uncertain)
 
 
+class TestCertifyCommand:
+    def test_default_corpus_certifies_and_exits_zero(self, capsys):
+        assert main(["certify"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected 0" in out
+        for name in ("fig08", "gps-window", "sprt-sum"):
+            assert f"{name}: certified" in out
+
+    def test_single_target(self, capsys):
+        assert main(["certify", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "stream-certify: certified" in out
+        assert "kernel-certify: certified" in out
+
+    def test_json_report_to_file(self, tmp_path):
+        report = tmp_path / "certify.json"
+        assert main(["certify", "fig08", "--json",
+                     "--output", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["mode"] == "certify"
+        target = payload["targets"]["fig08"]
+        assert target["status"] == "certified"
+        assert target["elapsed_ms"] > 0
+        assert {r["name"] for r in target["records"]} == {
+            "stream-certify", "kernel-certify"}
+
+    def test_probe_targets_do_not_fail_the_gate(self, capsys):
+        # Opaque plans legitimately fall back to the probe; only UNC401
+        # rejections should flip the exit code.
+        assert main(
+            ["certify", "tests.analysis.test_cli:build_opaque_graph"]
+        ) == 0
+        assert "probe" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "no-such-plan"])
+
+
 def build_bad_graph() -> Uncertain:
     """Target for the ``module:callable`` spec test."""
     from repro.dists import Gaussian, Uniform
 
     return Uncertain(Uniform(0, 10)) / Uncertain(Gaussian(1.0, 0.5))
+
+
+def build_opaque_graph() -> Uncertain:
+    """A plan with an opaque map: certification must defer to the probe."""
+    from repro.dists import Gaussian
+
+    return Uncertain(Gaussian(0, 1)).map(lambda v: v * 2.0)

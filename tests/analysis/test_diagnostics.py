@@ -165,6 +165,80 @@ class TestUNC105ConstantFolding:
         assert rules_of(value) == []
 
 
+class TestUNC106CorrelatedComparisons:
+    def test_positive_shared_gaussian_shift(self):
+        # Interval analysis sees TOP > TOP; the affine domain cancels the
+        # shared symbol and proves the comparison — the acceptance case.
+        x = Uncertain(Gaussian(0, 1))
+        diags = [d for d in analyze((x + 1.0) > x) if d.rule == "UNC106"]
+        assert len(diags) == 1
+        assert diags[0].data["decided"] is True
+        assert diags[0].data["shared_leaf_slots"]
+        assert diags[0].severity == "warning"
+
+    def test_positive_shared_ancestor_difference(self):
+        a = Uncertain(Gaussian(0, 1))
+        b = Uncertain(Uniform(1.0, 2.0))
+        diags = [d for d in analyze((a + b) - a > 0.5)
+                 if d.rule == "UNC106"]
+        assert len(diags) == 1 and diags[0].data["decided"] is True
+
+    def test_negative_interval_decided_owns_the_finding(self):
+        # When intervals already decide, UNC103 fires — not UNC106.
+        decided = Uncertain(Uniform(0, 1)) > 2.0
+        rules = rules_of(decided)
+        assert "UNC103" in rules and "UNC106" not in rules
+
+    def test_negative_self_comparison_owned_by_unc104(self):
+        x = Uncertain(Gaussian(0, 1))
+        rules = rules_of(x == x)
+        assert "UNC104" in rules and "UNC106" not in rules
+
+    def test_negative_independent_operands(self):
+        a = Uncertain(Gaussian(0, 1))
+        b = Uncertain(Gaussian(0, 1))
+        assert "UNC106" not in rules_of(a > b)
+
+
+class TestUNC107SpuriousIndependence:
+    def test_positive_reconstructed_subexpression(self):
+        lhs = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        rhs = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        diags = [d for d in analyze(lhs > rhs) if d.rule == "UNC107"]
+        assert len(diags) == 1
+        assert diags[0].severity == "warning"
+        assert diags[0].data["left_leaf_slots"] != diags[0].data[
+            "right_leaf_slots"]
+
+    def test_positive_on_subtraction(self):
+        lhs = Uncertain(Gaussian(0, 1)) * 2.0
+        rhs = Uncertain(Gaussian(0, 1)) * 2.0
+        assert "UNC107" in rules_of(lhs - rhs)
+
+    def test_negative_bare_leaf_pair(self):
+        # Two iid leaves compared directly are idiomatic (two independent
+        # measurements), not a reconstruction smell.
+        a = Uncertain(Gaussian(0, 1))
+        b = Uncertain(Gaussian(0, 1))
+        assert rules_of(a == b) == []
+
+    def test_negative_shared_subexpression(self):
+        shared = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        assert "UNC107" not in rules_of(shared > shared + 1.0)
+
+    def test_negative_structurally_different_operands(self):
+        lhs = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        rhs = Uncertain(Gaussian(0, 1)) * Uncertain(Uniform(0, 0.5))
+        assert "UNC107" not in rules_of(lhs > rhs)
+
+    def test_negative_addition_of_iid_terms(self):
+        # Summing iid terms is the normal idiom; only comparison-like ops
+        # (and - and /) suggest the operands were meant to be one value.
+        lhs = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        rhs = Uncertain(Gaussian(0, 1)) + Uncertain(Uniform(0, 0.5))
+        assert "UNC107" not in rules_of(lhs + rhs)
+
+
 class TestAnalyzeEntryPoints:
     def test_analyze_accepts_uncertain_and_node(self):
         x = Uncertain(Uniform(0, 1)) / Uncertain(Uniform(-1, 1))

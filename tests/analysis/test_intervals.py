@@ -218,6 +218,100 @@ class TestIntervalAlgebra:
         assert result.upper == math.inf and result.lower == 1.0
 
 
+class TestTransferAudit:
+    """Direct audit of the tricky transfer functions at zero crossings.
+
+    The envelope tests above exercise transfers through whole plans; this
+    class hits ``**``, ``//``, ``%``, and ``abs`` head-on with randomized
+    operand intervals (biased toward sign changes and zero endpoints) and
+    checks every point of a dense concrete grid lands inside the inferred
+    interval.
+    """
+
+    @staticmethod
+    def _random_interval(rng: np.random.Generator) -> Interval:
+        kind = rng.integers(0, 5)
+        if kind == 0:  # zero-crossing
+            return Interval(float(-rng.uniform(0.1, 4)), float(rng.uniform(0.1, 4)))
+        if kind == 1:  # touches zero from above
+            return Interval(0.0, float(rng.uniform(0.1, 4)))
+        if kind == 2:  # touches zero from below
+            return Interval(float(-rng.uniform(0.1, 4)), 0.0)
+        if kind == 3:  # strictly positive
+            lo = float(rng.uniform(0.1, 3))
+            return Interval(lo, lo + float(rng.uniform(0.1, 3)))
+        hi = float(-rng.uniform(0.05, 3))  # strictly negative
+        return Interval(hi - float(rng.uniform(0.1, 3)), hi)
+
+    @staticmethod
+    def _grid(interval: Interval, n: int = 41) -> np.ndarray:
+        pts = np.linspace(interval.lower, interval.upper, n)
+        return np.append(pts, [interval.lower, interval.upper, 0.0]) if (
+            interval.contains_zero) else pts
+
+    @pytest.mark.parametrize("symbol", ["//", "%", "**"])
+    @pytest.mark.parametrize("seed", range(20))
+    def test_binary_transfer_contains_concrete_grid(self, symbol, seed):
+        rng = np.random.default_rng(seed)
+        left = self._random_interval(rng)
+        right = self._random_interval(rng)
+        if symbol == "**":
+            # Match runtime semantics: float pow of a negative base with a
+            # non-integer exponent is NaN, which has no envelope; audit
+            # the real-valued region (integer exponents or positive base).
+            if left.lower < 0:
+                right = Interval.point(float(rng.integers(0, 4)))
+        result = BINARY_TRANSFER[symbol](left, right)
+        with np.errstate(all="ignore"):
+            lx, ly = np.meshgrid(self._grid(left), self._grid(right))
+            concrete = {
+                "//": lambda a, b: a // b,
+                "%": lambda a, b: np.mod(a, b),
+                "**": lambda a, b: np.power(a, b),
+            }[symbol](lx, ly).ravel()
+        finite = concrete[np.isfinite(concrete)]
+        if finite.size == 0:
+            return
+        assert finite.min() >= result.lower - 1e-9, (
+            f"{left} {symbol} {right}: concrete min {finite.min()} "
+            f"escapes inferred {result}"
+        )
+        assert finite.max() <= result.upper + 1e-9, (
+            f"{left} {symbol} {right}: concrete max {finite.max()} "
+            f"escapes inferred {result}"
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_abs_transfer_contains_concrete_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        operand = self._random_interval(rng)
+        result = UNARY_TRANSFER["abs"](operand)
+        concrete = np.abs(self._grid(operand))
+        assert concrete.min() >= result.lower - 1e-12
+        assert concrete.max() <= result.upper + 1e-12
+
+    def test_abs_zero_crossing_lower_is_zero(self):
+        # The tight answer at a sign change is [0, max(|lo|, hi)], not the
+        # naive endpoint image [|hi|, |lo|] hull.
+        assert UNARY_TRANSFER["abs"](Interval(-2.0, 5.0)) == Interval(0.0, 5.0)
+        assert UNARY_TRANSFER["abs"](Interval(-5.0, 2.0)) == Interval(0.0, 5.0)
+
+    def test_floordiv_zero_crossing_divisor_is_top(self):
+        assert BINARY_TRANSFER["//"](Interval(1, 2), Interval(-1, 1)).is_top
+
+    def test_mod_zero_point_divisor(self):
+        # x % 0 is NaN at runtime; the transfer must stay sound (any
+        # superset of the empty concrete set), not crash.
+        result = BINARY_TRANSFER["%"](Interval(1, 2), Interval.point(0.0))
+        assert isinstance(result, Interval)
+
+    def test_pow_zero_base_negative_exponent_widens_to_inf(self):
+        # 0 ** -1 is inf at runtime: the result must include it.
+        result = BINARY_TRANSFER["**"](
+            Interval(0.0, 2.0), Interval.point(-1.0))
+        assert result.upper == math.inf
+
+
 class TestSeeding:
     def test_leaf_seeded_from_support(self):
         value = Uncertain(Uniform(2.0, 5.0))

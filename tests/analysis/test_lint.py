@@ -197,6 +197,51 @@ class TestUNC204ImplicitConditionalInLoop:
         """, select=default_selection(True)) == []
 
 
+class TestUNC205ChainedComparison:
+    def test_positive_middle_operand(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            ok = 0.0 < x < 1.0
+        """) == ["UNC205"]
+
+    def test_positive_uncertain_bound(self):
+        assert rules("""
+            lo = Uncertain(Gaussian(0, 1))
+            ok = lo < 3.0 < 5.0
+        """) == ["UNC205"]
+
+    def test_positive_three_way_chain(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            ok = 0.0 <= x <= 1.0 <= 2.0
+        """) == ["UNC205"]
+
+    def test_message_suggests_explicit_conjunction(self):
+        (diag,) = lint("""
+            x = Uncertain(Gaussian(0, 1))
+            ok = 0.0 < x < 1.0
+        """)
+        assert "(a < x) & (x < b)" in diag.message
+
+    def test_negative_simple_comparison(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            ok = x < 1.0
+        """) == []
+
+    def test_negative_certain_chain(self):
+        assert rules("""
+            t = 0.5
+            ok = 0.0 < t < 1.0
+        """) == []
+
+    def test_suppressed_with_rule_id(self):
+        assert rules("""
+            x = Uncertain(Gaussian(0, 1))
+            ok = 0.0 < x < 1.0  # unc: ignore[UNC205]
+        """) == []
+
+
 class TestSuppression:
     def test_bare_ignore(self):
         assert rules("""

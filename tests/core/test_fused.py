@@ -159,7 +159,7 @@ class TestFallbacks:
         plan = compile_plan(y.node)
         metrics = RuntimeMetrics()
         with evaluation_config(metrics=metrics):
-            with pytest.warns(FusedFallbackWarning, match="rejected"):
+            with pytest.warns(FusedFallbackWarning, match="rejected") as rec:
                 out = get_engine("fused").run(
                     plan, 20, np.random.default_rng(2)
                 )[plan.root_slot]
@@ -168,6 +168,12 @@ class TestFallbacks:
         ]
         np.testing.assert_array_equal(out, ref)
         assert metrics.snapshot()["fused"]["kernels_rejected"] == 1
+        # LyingGaussian is a subclass, so the static certifier defers to
+        # the probe rather than trusting the claimed family — and the
+        # rejection message must say why the probe ran (UNC401 context).
+        message = str(rec[0].message)
+        assert "UNC401" in message
+        assert "not a trusted" in message
         # The rejection is sticky for the shape: no retry, still correct.
         out2 = get_engine("fused").run(plan, 20, np.random.default_rng(2))[
             plan.root_slot
@@ -220,8 +226,13 @@ class TestKernelCache:
         snap = metrics.snapshot()["fused"]
         assert snap["kernels_built"] == 1
         assert snap["kernel_hits"] == 1
+        # Every distribution here has a trusted bulk family, so the kernel
+        # certifies statically and the probe run is skipped entirely.
+        assert snap["kernels_certified"] == 1
+        assert snap["kernels_probed"] == 0
         assert kernel_cache_stats()["size"] == 1
         assert kernel_cache_stats()["verified"] == 1
+        assert kernel_cache_stats()["certified"] == 1
 
     def test_kernel_reused_across_batches_without_rebuild(self):
         metrics = RuntimeMetrics()

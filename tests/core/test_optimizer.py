@@ -198,6 +198,18 @@ class TestPipeline:
         optimized = [s.node for s in opt.steps if is_stochastic(s.node)]
         assert original == optimized
 
+    def test_rewrite_provenance_carries_stream_certificate(self):
+        y = Uncertain(Gaussian(0.0, 1.0)) + (
+            Uncertain.pointmass(1.0) + 2.0
+        )
+        opt = compile_plan(y.node).optimized(2)
+        record = records_by_name(opt)["stream-certify"]
+        assert record.certified
+        assert record.subject == "optimizer-rewrite"
+        # The PassRecord consumers must keep working alongside it.
+        assert records_by_name(opt)["dead-slot-elim"].nodes_after > 0
+        assert opt.certification_records() == (record,)
+
     def test_config_optimize_knob_controls_sampling(self):
         const = Uncertain.pointmass(2.0) * 3.0
         y = Uncertain(Gaussian(0.0, 1.0)) + const
