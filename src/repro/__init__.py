@@ -18,6 +18,11 @@ together with the substrates the paper's evaluation depends on:
   policies (``on_nonfinite``), flaky-source hardening
   (:class:`~repro.resilience.ResilientSource`), and the deterministic
   chaos harness (see ``docs/resilience.md``).
+- :mod:`repro.service` — the async service tier: an asyncio evaluation
+  front end whose batching coalescer merges concurrent same-shape
+  queries into shared bulk evaluations, with admission control,
+  backpressure and a Prometheus-style metrics endpoint (see
+  ``docs/service.md``).
 - :mod:`repro.gps` — the GPS sensor model and GPS-Walking case study
   (Section 5.1).
 - :mod:`repro.life` — the noisy-sensor Game of Life case study (Section 5.2).
@@ -31,9 +36,10 @@ together with the substrates the paper's evaluation depends on:
 ``__all__`` below is the blessed stable surface: the type and its
 constructors, the hypothesis tests, the unified evaluation configuration,
 and the runtime errors.  Everything else is reached through its namespace
-(``repro.evaluate``, ``repro.runtime``, ``repro.core``, ...); the old
+(``repro.evaluate``, ``repro.runtime``, ``repro.service``, ...); the old
 module-level sampling entry points (``sample_once``/``sample_batch``/
-``execute_plan``) are deprecated — see ``docs/api.md`` for migration.
+``execute_plan``), deprecated since v1.1, were **removed in v2.0** — see
+``docs/api.md`` for migration.
 """
 
 from repro.core.uncertain import Uncertain, UncertainBool, uncertain
@@ -65,8 +71,9 @@ from repro.resilience import (
 from repro import runtime
 from repro import evaluate
 from repro import resilience
+from repro import service
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
     # the type
@@ -83,6 +90,7 @@ __all__ = [
     "evaluation_config",
     "evaluate",
     "runtime",
+    "service",
     # hypothesis tests
     "HypothesisTest",
     "SPRT",

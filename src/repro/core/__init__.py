@@ -26,6 +26,7 @@ from repro.core.uncertain import Uncertain, UncertainBool, uncertain
 from repro.core.graph import (
     ApplyNode,
     BinaryOpNode,
+    BindNode,
     LeafNode,
     Node,
     PointMassNode,
@@ -52,9 +53,6 @@ from repro.core.sampling import (
     SampleBudgetExceeded,
     SampleContext,
     SamplingError,
-    execute_plan,
-    sample_batch,
-    sample_once,
 )
 from repro.core.sprt import (
     FixedSampleTest,
@@ -81,6 +79,7 @@ __all__ = [
     "BinaryOpNode",
     "UnaryOpNode",
     "ApplyNode",
+    "BindNode",
     "EvaluationPlan",
     "PlanTelemetry",
     "compile_plan",
@@ -97,9 +96,6 @@ __all__ = [
     "SamplingError",
     "SampleBudgetExceeded",
     "DeadlineExceeded",
-    "execute_plan",
-    "sample_batch",
-    "sample_once",
     "HypothesisTest",
     "SPRT",
     "FixedSampleTest",

@@ -182,6 +182,64 @@ class ApplyNode(Node):
         return out
 
 
+class BindNode(Node):
+    """Monadic bind: per joint sample, ``fn`` maps the operand's value to a
+    *new* uncertain value, from which exactly one sample is drawn.
+
+    This is ``Uncertain.flat_map`` (the exemplar's ``flatMap``): the
+    returned value may be an ``Uncertain``, a ``Distribution``, or a plain
+    value (treated as a point mass).  Each row of the batch drives one
+    independent inner draw from the shared generator, so dependence on the
+    operand is preserved row-by-row while inner randomness stays fresh.
+
+    Bind is inherently opaque to the structural layer (``fn`` is arbitrary
+    Python), so plans containing a ``BindNode`` never enter the structural
+    cache or the fused backend — they execute through the generic
+    ``evaluate_batch`` path of every engine.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        operand: Node,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(
+            (operand,), label or f"bind({getattr(fn, '__name__', 'fn')})"
+        )
+        self.fn = fn
+
+    @staticmethod
+    def _draw_one(result: Any, rng: np.random.Generator) -> Any:
+        # Imported lazily: uncertain.py imports this module.
+        from repro.core.uncertain import Uncertain
+
+        if isinstance(result, Uncertain):
+            plan = result.plan
+            # Draw through the compiled plan but below the budget/metrics
+            # facade: the inner draw is *part of* the enclosing joint
+            # sample, not a separate evaluation.
+            from repro.core.engines import get_engine
+
+            return get_engine("numpy").run(plan, 1, rng)[plan.root_slot][0]
+        if isinstance(result, Distribution):
+            return result.sample_n(1, rng)[0]
+        return result
+
+    def evaluate_batch(self, parent_values, n, rng):
+        (operand,) = parent_values
+        results = [self._draw_one(self.fn(operand[i]), rng) for i in range(n)]
+        if results and isinstance(
+            results[0], (int, float, np.integer, np.floating, bool, np.bool_)
+        ):
+            return np.asarray(results)
+        out = np.empty(n, dtype=object)
+        out[:] = results
+        return out
+
+
 # ---------------------------------------------------------------------------
 # Graph inspection utilities (used by tests, docs and the dependence bench).
 # ---------------------------------------------------------------------------

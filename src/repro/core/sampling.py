@@ -17,21 +17,19 @@ The implementation is batch-first: one evaluation pass computes ``n``
 independent joint samples as numpy arrays, which is what the SPRT's batched
 draws (Section 4.3) consume.  A single sample is a batch of one.
 
-.. deprecated:: 1.1
-   The module-level entry points :func:`sample_once`, :func:`sample_batch`
-   and :func:`execute_plan` are deprecated in favour of the unified
-   evaluation API: ``Uncertain.sample`` / ``Uncertain.samples`` /
-   ``Uncertain.sample_with`` with engine selection and budgets on
+.. versionchanged:: 2.0
+   The module-level entry points ``sample_once``, ``sample_batch`` and
+   ``execute_plan`` — deprecated since v1.1 — were removed.  Use the
+   unified evaluation API instead: ``Uncertain.sample`` /
+   ``Uncertain.samples`` / ``Uncertain.sample_with`` with engine
+   selection and budgets on
    :class:`~repro.core.conditionals.EvaluationConfig` (see
-   ``docs/api.md`` for migration notes).  They keep working but emit a
-   :class:`DeprecationWarning` once per call site.
+   ``docs/api.md`` for migration notes).
 """
 
 from __future__ import annotations
 
-import warnings
 from time import monotonic
-from typing import Any
 
 import numpy as np
 
@@ -58,15 +56,6 @@ def _resolve_engine(engine: "str | ExecutionEngine | None") -> ExecutionEngine:
     if engine is None:
         engine = _cond.get_config().engine
     return get_engine(engine)
-
-
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.core.sampling.{name} is deprecated; use {replacement} "
-        "(see docs/api.md, 'Migrating from the scattered entry points')",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def _execute_plan(
@@ -102,26 +91,6 @@ def _execute_plan(
     eng = get_engine(engine if engine is not None else config.engine)
     return eng.sample(plan, n, ensure_rng(rng), memo=memo,
                       telemetry=config.plan_telemetry)
-
-
-def execute_plan(
-    plan: EvaluationPlan,
-    n: int,
-    rng: np.random.Generator | int | None = None,
-    memo: dict[Node, np.ndarray] | None = None,
-    engine: "str | ExecutionEngine | None" = None,
-) -> np.ndarray:
-    """Run a compiled plan, returning ``n`` joint samples of its root.
-
-    ``memo`` (node -> batch) pre-seeds already-sampled variables and
-    receives every newly evaluated one; sharing a memo across plans keeps
-    shared variables consistent between roots.
-
-    .. deprecated:: 1.1  Use ``Uncertain.samples(n, engine=...)`` or, for
-       shared variables across roots, ``Uncertain.sample_with(context)``.
-    """
-    _deprecated("execute_plan", "Uncertain.samples / Uncertain.sample_with")
-    return _execute_plan(plan, n, rng, memo=memo, engine=engine)
 
 
 class SampleContext:
@@ -178,43 +147,6 @@ class SampleContext:
                 plan, self.n, self.rng, memo=self._values, engine=engine
             )
         return batch
-
-
-def _sample_batch(
-    root: Node,
-    n: int,
-    rng: np.random.Generator | int | None = None,
-    engine: "str | ExecutionEngine | None" = None,
-) -> np.ndarray:
-    """Internal: ``n`` independent joint samples of ``root`` (no warning)."""
-    config = _cond.get_config()
-    plan = compile_plan(
-        root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
-    )
-    return _execute_plan(plan, n, rng, engine=engine)
-
-
-def sample_batch(
-    root: Node,
-    n: int,
-    rng: np.random.Generator | int | None = None,
-    engine: "str | ExecutionEngine | None" = None,
-) -> np.ndarray:
-    """Draw ``n`` independent joint samples of ``root`` via its cached plan.
-
-    .. deprecated:: 1.1  Use ``Uncertain.samples(n, rng=..., engine=...)``.
-    """
-    _deprecated("sample_batch", "Uncertain.samples")
-    return _sample_batch(root, n, rng, engine=engine)
-
-
-def sample_once(root: Node, rng: np.random.Generator | int | None = None) -> Any:
-    """Draw a single joint sample of ``root``.
-
-    .. deprecated:: 1.1  Use ``Uncertain.sample(rng=...)``.
-    """
-    _deprecated("sample_once", "Uncertain.sample")
-    return _sample_batch(root, 1, rng)[0]
 
 
 def bernoulli_sampler(root: Node, rng: np.random.Generator):

@@ -26,6 +26,7 @@ from repro.core import conditionals as _cond
 from repro.core.graph import (
     ApplyNode,
     BinaryOpNode,
+    BindNode,
     LeafNode,
     Node,
     PointMassNode,
@@ -177,10 +178,34 @@ class Uncertain:
 
     def map(self, fn: Callable[[Any], Any], vectorized: bool = False,
             label: str | None = None) -> "Uncertain":
-        """Lift a unary function over this variable."""
+        """Functor map: lift a unary function over this variable.
+
+        ``x.map(f)`` is a new uncertain value whose joint samples are
+        ``f`` of this one's — correlation with ``x`` (and everything
+        sharing its leaves) is preserved, because the mapped node reads
+        the same slot.  With ``vectorized=True``, ``fn`` must accept the
+        whole sample array at once (faster; required for ufunc fusion).
+        """
         return Uncertain.from_node(
             ApplyNode(fn, (self.node,), vectorized=vectorized, label=label)
         )
+
+    def flat_map(
+        self, fn: Callable[[Any], Any], label: str | None = None
+    ) -> "Uncertain":
+        """Monadic bind: ``fn`` maps each joint sample to a *new* uncertain
+        value, from which one sample is drawn.
+
+        The exemplar's ``flatMap``: use it when the next stage of a model
+        is itself uncertain and *parameterised by* this value — e.g. a
+        travel time whose distribution depends on a sampled congestion
+        state.  ``fn`` may return an :class:`Uncertain`, a
+        :class:`~repro.dists.base.Distribution`, or a plain value (treated
+        as a point mass).  Like every lifted operation the bind preserves
+        row-wise dependence on this variable; plans containing a bind are
+        structurally opaque (no fused kernels, no cross-session sharing).
+        """
+        return Uncertain.from_node(BindNode(fn, self.node, label=label))
 
     # -- graph construction: comparisons (Order :: U T -> U T -> U Bool) --
 
@@ -315,6 +340,79 @@ class Uncertain:
             float(np.quantile(values, tail)),
             float(np.quantile(values, 1.0 - tail)),
         )
+
+    def percentiles(
+        self,
+        n: int | None = None,
+        *,
+        samples: int | None = None,
+        rng=None,
+        engine: "str | object | None" = None,
+    ) -> np.ndarray:
+        """The value's percentile curve from a Monte-Carlo draw.
+
+        Returns an array of ``n + 1`` quantile estimates at evenly spaced
+        probabilities ``0/n, 1/n, ..., n/n`` — with the default
+        ``n=100``, ``p[50]`` is the median and ``p[90]`` the 90th
+        percentile, mirroring the exemplar's
+        ``total.percentiles(sampleCount=...)``.  ``samples`` is the
+        Monte-Carlo sample count (defaults to the active configuration's
+        ``ci_samples``); draws go through the cached/optimized plan under
+        the ambient engine, budgets and deadline, or under an explicit
+        ``engine=`` override.
+        """
+        if n is None:
+            n = 100
+        if n < 1:
+            raise ValueError(f"percentile divisions must be >= 1, got {n}")
+        samples = self._estimator_n(samples, "ci_samples")
+        values = np.asarray(
+            self.samples(samples, rng, engine=engine), dtype=float
+        )
+        return np.quantile(values, np.linspace(0.0, 1.0, int(n) + 1))
+
+    def confidence_interval(
+        self,
+        level: float = 0.95,
+        *,
+        samples: int | None = None,
+        rng=None,
+        engine: "str | object | None" = None,
+    ) -> tuple[float, float]:
+        """Central credible interval at ``level`` (exemplar's
+        ``confidenceInterval``).
+
+        ``samples`` defaults to the active configuration's ``ci_samples``;
+        the draw honors the ambient engine, budgets and deadline.  The
+        short-form :meth:`ci` remains as the positional-argument
+        spelling of the same estimator.
+        """
+        if not 0 < level < 1:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        samples = self._estimator_n(samples, "ci_samples")
+        values = np.asarray(
+            self.samples(samples, rng, engine=engine), dtype=float
+        )
+        tail = (1.0 - level) / 2.0
+        return (
+            float(np.quantile(values, tail)),
+            float(np.quantile(values, 1.0 - tail)),
+        )
+
+    def is_probable(
+        self,
+        threshold: float = 0.5,
+        rng: np.random.Generator | int | None = None,
+    ) -> bool:
+        """Is this value more likely than ``threshold`` to be truthy?
+
+        The exemplar's ``isProbable``: on an :class:`UncertainBool` it is
+        the explicit conditional ``pr(threshold)``; on a general value it
+        first lifts truthiness (``self != 0``) and then runs the same
+        hypothesis test.  Unlike ``bool()`` coercion this never raises —
+        it *is* the sanctioned way to turn evidence into a decision.
+        """
+        return (self != 0).pr(threshold, rng=rng)
 
     def histogram(
         self, bins: int = 50, n: int | None = None, rng=None
@@ -569,6 +667,19 @@ class UncertainBool(Uncertain):
             warnings.warn(InconclusiveWarning(message), stacklevel=4)
         elif policy == "raise":
             raise InconclusiveError(message, outcome)
+
+    def is_probable(
+        self,
+        threshold: float = 0.5,
+        rng: np.random.Generator | int | None = None,
+    ) -> bool:
+        """The explicit conditional under the exemplar's name.
+
+        ``(speed > 4).is_probable(0.9)`` is ``(speed > 4).pr(0.9)`` — no
+        extra truthiness node is inserted for a value that is already
+        Boolean evidence.
+        """
+        return self.pr(threshold, rng=rng)
 
     def evidence(self, n: int | None = None, rng=None) -> float:
         """Direct Monte-Carlo estimate of Pr[condition] from ``n`` samples.

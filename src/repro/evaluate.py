@@ -18,11 +18,15 @@ module is the single blessed surface for controlling evaluation:
 
 - **draw** — values are sampled through their own methods
   (``Uncertain.sample`` / ``samples`` / ``sample_with``), every one
-  accepting an ``engine=`` override; the deprecated module-level
-  ``sample_once`` / ``sample_batch`` / ``execute_plan`` now warn and
-  point here (migration notes in ``docs/api.md``).
+  accepting an ``engine=`` override; the long-deprecated module-level
+  ``sample_once`` / ``sample_batch`` / ``execute_plan`` were removed in
+  v2.0 (migration notes in ``docs/api.md``).
 - **estimate** — :func:`expected_value` (with ``adaptive=``) and
-  :func:`expected_value_adaptive`.
+  :func:`expected_value_adaptive`, plus the ergonomic query surface
+  mirrored from the value methods: :func:`percentiles`,
+  :func:`confidence_interval`, :func:`is_probable` — the same four
+  queries the async service tier (:mod:`repro.service`) accepts over
+  its request schema.
 - **observe** — :func:`stats` / :func:`reset_stats` for the runtime
   counters, :class:`Tracer` / :func:`tracing` for span traces
   (``docs/runtime.md`` documents both schemas).
@@ -65,6 +69,29 @@ from repro.runtime import (
 )
 from repro.runtime.parallel import ParallelEngine
 
+
+def percentiles(value, n=None, *, samples=None, rng=None, engine=None):
+    """Percentile curve of an uncertain value — ``Uncertain.percentiles``.
+
+    Module-level spelling so estimation code can stay in the façade
+    namespace; identical semantics (cached plans, ambient budgets,
+    ``engine=`` override) to the method.
+    """
+    return value.percentiles(n, samples=samples, rng=rng, engine=engine)
+
+
+def confidence_interval(value, level=0.95, *, samples=None, rng=None, engine=None):
+    """Central credible interval — ``Uncertain.confidence_interval``."""
+    return value.confidence_interval(
+        level, samples=samples, rng=rng, engine=engine
+    )
+
+
+def is_probable(value, threshold=0.5, rng=None):
+    """Hypothesis-tested truthiness — ``Uncertain.is_probable``."""
+    return value.is_probable(threshold, rng=rng)
+
+
 __all__ = [
     # configure
     "EvaluationConfig",
@@ -80,6 +107,9 @@ __all__ = [
     # estimate
     "expected_value",
     "expected_value_adaptive",
+    "percentiles",
+    "confidence_interval",
+    "is_probable",
     # observe
     "stats",
     "reset_stats",

@@ -22,7 +22,13 @@ lazily via module ``__getattr__``.
 
 from __future__ import annotations
 
-from repro.runtime.metrics import METRICS, EngineStats, RuntimeMetrics
+from repro.runtime.metrics import (
+    METRICS,
+    EngineStats,
+    LatencyHistogram,
+    RuntimeMetrics,
+    render_prometheus,
+)
 from repro.runtime.trace import Span, Tracer, get_tracer, set_tracer, tracing
 
 __all__ = [
@@ -31,7 +37,9 @@ __all__ = [
     "spawn_chunk_seeds",
     "RuntimeMetrics",
     "EngineStats",
+    "LatencyHistogram",
     "METRICS",
+    "render_prometheus",
     "stats",
     "reset_stats",
     "Tracer",

@@ -24,24 +24,117 @@ module imports it, so it can depend on none of them.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Callable
+
+#: Default latency bucket upper bounds in seconds: log-spaced 1-2.5-5 decades
+#: from 100 µs to 10 s.  Bounded (17 buckets + overflow), so a histogram is a
+#: fixed-size integer array no matter how many observations it absorbs —
+#: p50/p99 stay derivable without storing or tracing individual latencies.
+DEFAULT_LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Bounded-bucket latency histogram (Prometheus ``histogram`` semantics).
+
+    ``bounds[i]`` is the *inclusive* upper edge of bucket ``i``
+    (Prometheus ``le``); one overflow bucket catches everything above the
+    last bound.  :meth:`quantile` reconstructs percentiles by linear
+    interpolation inside the target bucket — the same estimator as
+    PromQL's ``histogram_quantile`` — so p50/p99 are derivable from the
+    counters alone, with error bounded by bucket width.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: tuple = DEFAULT_LATENCY_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("bucket bounds must be positive")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # [..buckets.., overflow]
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (``nan`` when empty).
+
+        The target bucket is the first whose cumulative count reaches
+        ``q * count``; the estimate interpolates linearly between its
+        edges.  Observations in the overflow bucket clamp to the last
+        finite bound (a deliberate *under*-estimate, as in Prometheus).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            previous = cumulative
+            cumulative += n
+            if cumulative >= rank:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                fraction = (rank - previous) / n
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self.bounds[-1]  # pragma: no cover - rank <= count always hits
+
+    def as_dict(self) -> dict:
+        cumulative, running = [], 0
+        for n in self.counts[:-1]:
+            running += n
+            cumulative.append(running)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "bounds": list(self.bounds),
+            "cumulative": cumulative,  # per-bound cumulative counts (le=)
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
 
 
 class EngineStats:
-    """Per-engine sampling counters (samples drawn, batches, wall time)."""
+    """Per-engine sampling counters (samples drawn, batches, wall time).
 
-    __slots__ = ("batches", "samples", "seconds")
+    ``latency`` is a bounded :class:`LatencyHistogram` of per-batch wall
+    times, so p50/p99 engine latency is derivable from the counters
+    without tracing (the seconds total alone only supports means).
+    """
+
+    __slots__ = ("batches", "samples", "seconds", "latency")
 
     def __init__(self) -> None:
         self.batches = 0
         self.samples = 0
         self.seconds = 0.0
+        self.latency = LatencyHistogram()
 
     def as_dict(self) -> dict:
         return {
             "batches": self.batches,
             "samples": self.samples,
             "seconds": self.seconds,
+            "latency": self.latency.as_dict(),
         }
 
 
@@ -96,6 +189,7 @@ class RuntimeMetrics:
         stats.batches += 1
         stats.samples += int(n)
         stats.seconds += seconds
+        stats.latency.observe(seconds)
 
     def record_test(self, kind: str, steps: int, samples: int) -> None:
         """One hypothesis-test run: ``steps`` batch draws, ``samples`` total."""
@@ -269,6 +363,112 @@ class RuntimeMetrics:
     def total_samples(self) -> int:
         """Samples drawn across every engine (convenience for budgets)."""
         return sum(stats.samples for stats in self.engines.values())
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """This registry's counters in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot(), prefix=prefix)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4).  Stdlib-only by design:
+# the service tier serves this from a plain http.server handler.
+# ---------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_histogram(
+    name: str, hist_dict: dict, labels: dict | None = None
+) -> list[str]:
+    """Prometheus ``histogram`` series for a :class:`LatencyHistogram` dict.
+
+    Emits cumulative ``<name>_bucket{le="..."}`` samples (including the
+    mandatory ``le="+Inf"``), plus ``<name>_sum`` and ``<name>_count``.
+    """
+    labels = dict(labels or {})
+    lines = []
+    for bound, cumulative in zip(hist_dict["bounds"], hist_dict["cumulative"]):
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = format(bound, "g")
+        lines.append(
+            f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+        )
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(f"{name}_bucket{_format_labels(inf_labels)} {hist_dict['count']}")
+    lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(hist_dict['sum'])}")
+    lines.append(f"{name}_count{_format_labels(labels)} {hist_dict['count']}")
+    return lines
+
+
+#: ``by_*`` snapshot keys rendered as labelled series: key -> label name.
+_LABELLED_KEYS = {
+    "by_kind": "kind",
+    "by_policy": "policy",
+    "inconclusive_by_policy": "policy",
+}
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Flatten a :meth:`RuntimeMetrics.snapshot` into Prometheus text.
+
+    Naming scheme: section and counter join with underscores
+    (``repro_plans_compiled``), per-engine counters carry an
+    ``engine=`` label (``repro_engine_samples{engine="fused"}``), and
+    the per-engine latency histograms render as native Prometheus
+    histograms (``repro_engine_latency_seconds_bucket{engine=...,le=...}``)
+    so p50/p99 come out of ``histogram_quantile()`` — or out of
+    :meth:`LatencyHistogram.quantile` offline.
+    """
+    lines: list[str] = []
+    for section, payload in snapshot.items():
+        if section == "engines":
+            base = f"{prefix}_engine"
+            lines.append(f"# TYPE {base}_latency_seconds histogram")
+            for engine, stats in sorted(payload.items()):
+                labels = {"engine": engine}
+                for key in ("batches", "samples", "seconds"):
+                    lines.append(
+                        f"{base}_{key}{_format_labels(labels)} "
+                        f"{_format_value(stats[key])}"
+                    )
+                lines.extend(
+                    render_histogram(
+                        f"{base}_latency_seconds", stats["latency"], labels
+                    )
+                )
+            continue
+        for key, value in payload.items():
+            name = f"{prefix}_{section}_{key}"
+            if isinstance(value, dict):
+                label = _LABELLED_KEYS.get(key, "key")
+                base = f"{prefix}_{section}_{key.replace('by_', '')}"
+                for k, v in sorted(value.items()):
+                    lines.append(
+                        f"{base}{_format_labels({label: k})} {_format_value(v)}"
+                    )
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
 
 
 #: The process-global registry that ``repro.runtime.stats()`` reads.

@@ -1,0 +1,55 @@
+"""The async service tier: serving uncertainty queries at scale.
+
+The paper's runtime answers one query at a time; this package is the
+front end that serves *many* — the "millions of users issuing the same
+speeding-test query" regime the roadmap targets.  Concurrent queries
+enter an asyncio :class:`Service`, a batching coalescer merges
+structurally isomorphic plans arriving within a configurable window into
+shared bulk evaluations (one compiled plan, one fused kernel, many
+answers), and per-request ``SeedSequence`` streams keep every batched
+answer bit-identical to solo evaluation.  Admission control reuses the
+evaluation layer's sample budgets and deadlines, backpressure sheds
+load at a queue bound, and a stdlib HTTP endpoint exposes
+Prometheus-style metrics.  See ``docs/service.md``.
+
+Layering:
+
+- :mod:`repro.service.requests`  — the request/result schema and the one
+  shared reduction (:func:`reduce_query`).
+- :mod:`repro.service.coalescer` — synchronous batching core:
+  structural grouping, per-request streams, pooled seedless runs,
+  fault isolation.  Directly testable without an event loop.
+- :mod:`repro.service.service`   — the asyncio front end: queueing,
+  batching windows, shedding, worker tasks, metrics exposition.
+- :mod:`repro.service.http`      — stdlib ``/metrics`` + ``/healthz``
+  + ``/stats`` endpoint.
+"""
+
+from repro.service.requests import (
+    QUERY_KINDS,
+    QueryRequest,
+    QueryResult,
+    reduce_query,
+)
+from repro.service.coalescer import (
+    CoalescerStats,
+    evaluate_batch,
+    evaluate_request,
+)
+from repro.service.service import Service, ServiceClosed, ServiceOverloaded
+from repro.service.http import MetricsServer, serve_metrics
+
+__all__ = [
+    "QUERY_KINDS",
+    "QueryRequest",
+    "QueryResult",
+    "reduce_query",
+    "CoalescerStats",
+    "evaluate_batch",
+    "evaluate_request",
+    "Service",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "MetricsServer",
+    "serve_metrics",
+]

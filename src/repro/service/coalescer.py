@@ -1,0 +1,290 @@
+"""Cross-request batching: merge same-shape queries into shared evaluations.
+
+The coalescer is the synchronous heart of the service tier (the asyncio
+front end in :mod:`repro.service.service` only decides *when* to call it).
+Given a batch of :class:`~repro.service.requests.QueryRequest` objects it:
+
+1. **Groups** requests by their plan's structural hash.  Structurally
+   isomorphic plans — same shape, same distribution parameters — compile
+   to interchangeable programs, so one group shares a single compiled,
+   optimized plan (the leader's) and, on the fused engine, a single
+   generated kernel.  Opaque plans (lambdas, hardened sources) group by
+   plan identity instead, so a hot value still batches with itself.
+
+2. **Evaluates** each group once per *stream*:
+
+   - Seeded requests each own the stream ``default_rng(SeedSequence(seed))``
+     (the request-level analogue of the parallel engine's chunk streams),
+     so the group runs the shared plan once per seeded request.  The solo
+     path (:func:`evaluate_request`) derives the identical stream from the
+     identical seed and runs the identical plan program — batched answers
+     are bit-identical to solo answers *by construction*, not by test.
+   - Seedless requests pool: the group draws ``sum(n_i)`` rows in **one**
+     engine run from the coalescer's stream and slices the rows across
+     requests.  This is the cheap path — one kernel launch answers many
+     queries — at the cost of per-request reproducibility.
+
+3. **Reduces** each request's sample array with the same
+   :func:`~repro.service.requests.reduce_query` used everywhere, and
+   isolates failures: a request whose source feed trips its circuit
+   breaker (or whose chaos-injected engine call dies) fails *alone*;
+   the coalescer falls back to per-request evaluation for the survivors
+   rather than failing the whole group.  Per-request retries re-derive
+   the request stream from the seed, so a retried answer is still
+   bit-identical — fault injection consumes breaker/chaos state, never
+   the request's sample stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import conditionals as _cond
+from repro.core.engines import ExecutionEngine, get_engine
+from repro.core.sampling import DeadlineExceeded, SampleBudgetExceeded
+from repro.rng import ensure_rng
+
+from repro.service.requests import QueryRequest, QueryResult, reduce_query
+
+__all__ = [
+    "BatchOutcome",
+    "CoalescerStats",
+    "evaluate_batch",
+    "evaluate_request",
+]
+
+
+@dataclasses.dataclass
+class CoalescerStats:
+    """What one ``evaluate_batch`` call did — fed into service metrics."""
+
+    requests: int = 0
+    groups: int = 0
+    #: Requests answered from a group of >= 2 (shared plan/kernel).
+    coalesced_requests: int = 0
+    #: Seedless requests answered by slicing one pooled engine run.
+    pooled_requests: int = 0
+    #: Engine runs actually issued (the amortisation denominator).
+    engine_runs: int = 0
+    #: Joint samples drawn across all runs.
+    samples_drawn: int = 0
+    #: Groups whose bulk evaluation failed and fell back per-request.
+    group_fallbacks: int = 0
+    #: Requests that ultimately failed (exception outcome).
+    failures: int = 0
+
+
+#: One entry per request: either a ``QueryResult`` or the exception that
+#: answered it.  Order matches the input batch.
+BatchOutcome = list  # list[QueryResult | BaseException]
+
+
+def _engine_name(engine: "str | ExecutionEngine") -> str:
+    return engine if isinstance(engine, str) else type(engine).__name__
+
+
+def _draw(plan, n: int, rng, engine) -> np.ndarray:
+    """One instrumented engine run of the shared plan."""
+    eng = get_engine(engine)
+    config = _cond.get_config()
+    return eng.sample(plan, int(n), rng, telemetry=config.plan_telemetry)
+
+
+def _admit(config, n: int) -> None:
+    """Admission control: the existing budget/deadline semantics.
+
+    Reuses :class:`EvaluationConfig`'s ``sample_budget`` / ``deadline``
+    accounting (the same fields ``_execute_plan`` enforces) so a service
+    shares one vocabulary with solo evaluation.
+    """
+    if config.deadline is not None and time.monotonic() > config.deadline_at:
+        raise DeadlineExceeded(
+            f"evaluation deadline of {config.deadline}s expired before a "
+            f"draw of {n} samples"
+        )
+    if config.sample_budget is not None:
+        if config.samples_executed + n > config.sample_budget:
+            raise SampleBudgetExceeded(
+                f"sample budget exhausted: {config.samples_executed} drawn + "
+                f"{n} requested > budget {config.sample_budget}"
+            )
+    config.samples_executed += n
+
+
+def evaluate_request(
+    request: QueryRequest,
+    *,
+    engine: "str | ExecutionEngine | None" = None,
+    config: "_cond.EvaluationConfig | None" = None,
+    rng: "np.random.Generator | None" = None,
+    _batched: bool = False,
+    _batch_size: int = 1,
+    _plan=None,
+) -> QueryResult:
+    """Solo evaluation: one request, its own stream, the shared reduction.
+
+    This is the reference the determinism contract is stated against —
+    the batched path produces answers bit-identical to this function for
+    any seeded request.  ``rng`` is only accepted for seedless requests
+    (callers that want solo evaluation with an external stream).
+    """
+    config = config if config is not None else _cond.get_config()
+    engine = engine if engine is not None else config.engine
+    plan = _plan if _plan is not None else request.value.plan
+    n = request.resolve_samples(config)
+    _admit(config, n)
+    if request.seed is not None:
+        rng = request.rng()
+    elif rng is None:
+        rng = ensure_rng(None)
+    values = _draw(plan, n, rng, engine)
+    answer, extra = reduce_query(request, values)
+    return QueryResult(
+        request=request,
+        value=answer,
+        samples_used=n,
+        batched=_batched,
+        batch_size=_batch_size,
+        latency_s=0.0,
+        engine=_engine_name(engine),
+        extra=extra,
+    )
+
+
+def _evaluate_group(
+    group: "list[tuple[int, QueryRequest]]",
+    outcomes: BatchOutcome,
+    stats: CoalescerStats,
+    *,
+    engine,
+    config,
+    pool_rng,
+    retries: int,
+) -> None:
+    """Answer one structural group, isolating per-request failures."""
+    plan = group[0][1].value.plan  # the leader's compiled (cached) plan
+    size = len(group)
+    seeded = [(i, r) for i, r in group if r.seed is not None]
+    pooled = [(i, r) for i, r in group if r.seed is None]
+
+    try:
+        # Seeded requests: one run of the shared plan per request stream.
+        for i, req in seeded:
+            n = req.resolve_samples(config)
+            _admit(config, n)
+            values = _draw(plan, n, req.rng(), engine)
+            stats.engine_runs += 1
+            stats.samples_drawn += n
+            answer, extra = reduce_query(req, values)
+            outcomes[i] = QueryResult(
+                request=req, value=answer, samples_used=n, batched=size > 1,
+                batch_size=size, latency_s=0.0, engine=_engine_name(engine),
+                extra=extra,
+            )
+        # Seedless requests: ONE pooled run sliced across requests.
+        if pooled:
+            counts = [r.resolve_samples(config) for _, r in pooled]
+            total = int(sum(counts))
+            _admit(config, total)
+            rows = _draw(plan, total, pool_rng, engine)
+            stats.engine_runs += 1
+            stats.samples_drawn += total
+            offset = 0
+            for (i, req), n in zip(pooled, counts):
+                values = rows[offset:offset + n]
+                offset += n
+                answer, extra = reduce_query(req, values)
+                outcomes[i] = QueryResult(
+                    request=req, value=answer, samples_used=n,
+                    batched=size > 1, batch_size=size, latency_s=0.0,
+                    engine=_engine_name(engine), extra=extra,
+                )
+                stats.pooled_requests += 1
+        if size > 1:
+            stats.coalesced_requests += size
+        return
+    except (SampleBudgetExceeded, DeadlineExceeded):
+        raise  # admission failures abort the group; the service maps them
+    except Exception:
+        # Bulk evaluation died mid-group (flaky source, chaos-injected
+        # fault, ...).  Fall back to per-request evaluation so one bad
+        # request — or one transient fault — cannot fail its batchmates.
+        stats.group_fallbacks += 1
+
+    for i, req in group:
+        if outcomes[i] is not None:
+            continue  # answered before the fault
+        last: BaseException | None = None
+        for _ in range(retries + 1):
+            try:
+                outcomes[i] = evaluate_request(
+                    req, engine=engine, config=config, rng=pool_rng,
+                    _batched=size > 1, _batch_size=size,
+                )
+                stats.engine_runs += 1
+                stats.samples_drawn += outcomes[i].samples_used
+                last = None
+                break
+            except (SampleBudgetExceeded, DeadlineExceeded):
+                raise
+            except Exception as exc:  # noqa: BLE001 — isolate per request
+                last = exc
+        if last is not None:
+            outcomes[i] = last
+            stats.failures += 1
+    if size > 1:
+        stats.coalesced_requests += size
+
+
+def evaluate_batch(
+    requests: Sequence[QueryRequest],
+    *,
+    engine: "str | ExecutionEngine | None" = None,
+    config: "_cond.EvaluationConfig | None" = None,
+    pool_rng: "np.random.Generator | int | None" = None,
+    retries: int = 1,
+    stats: CoalescerStats | None = None,
+) -> BatchOutcome:
+    """Answer a batch of requests, coalescing same-shape plans.
+
+    Returns one outcome per request, in request order: a
+    :class:`QueryResult` on success or the exception that answered it.
+    Admission failures (:class:`SampleBudgetExceeded`,
+    :class:`DeadlineExceeded`) become per-request outcomes too — they
+    reject the remainder of the batch request-by-request rather than
+    raising out of the coalescer.
+    """
+    config = config if config is not None else _cond.get_config()
+    engine = engine if engine is not None else config.engine
+    pool_rng = ensure_rng(pool_rng)
+    stats = stats if stats is not None else CoalescerStats()
+    stats.requests += len(requests)
+
+    outcomes: BatchOutcome = [None] * len(requests)
+    groups: dict[str, list[tuple[int, QueryRequest]]] = defaultdict(list)
+    for i, req in enumerate(requests):
+        try:
+            groups[req.group_key()].append((i, req))
+        except Exception as exc:  # un-compilable value: fail that request
+            outcomes[i] = exc
+            stats.failures += 1
+
+    stats.groups += len(groups)
+    for group in groups.values():
+        try:
+            _evaluate_group(
+                group, outcomes, stats,
+                engine=engine, config=config, pool_rng=pool_rng,
+                retries=retries,
+            )
+        except (SampleBudgetExceeded, DeadlineExceeded) as exc:
+            for i, _ in group:
+                if outcomes[i] is None:
+                    outcomes[i] = exc
+                    stats.failures += 1
+    return outcomes

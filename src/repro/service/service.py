@@ -1,0 +1,493 @@
+"""The asyncio evaluation front end: admission, batching windows, shedding.
+
+:class:`Service` turns the synchronous coalescer into a concurrent query
+server.  Requests arrive via :meth:`Service.submit` (or the per-kind
+conveniences ``pr`` / ``expected_value`` / ``percentiles`` / ...), queue
+behind a bounded asyncio queue, and are drained by worker tasks.  Each
+worker takes one request, sleeps the configured **batching window** to
+let same-shape neighbours accumulate, drains whatever arrived, and hands
+the whole batch to :func:`~repro.service.coalescer.evaluate_batch` on a
+thread pool — the event loop keeps admitting while evaluation runs.
+
+Three layers of admission control, all reusing the existing evaluation
+vocabulary:
+
+- **Backpressure / shedding** — when the pending queue exceeds
+  ``max_pending`` the request is *shed*: :class:`ServiceOverloaded`
+  propagates to the caller immediately and the shed counter increments.
+  Callers see load instead of unbounded latency.
+- **Sample budgets** — ``Service(sample_budget=...)`` caps cumulative
+  joint samples across all requests, enforced at admission with the
+  same :class:`~repro.SampleBudgetExceeded` solo evaluation raises.
+- **Deadlines** — ``Service(deadline=...)`` bounds wall-clock lifetime
+  from :meth:`start`, rejecting with :class:`~repro.DeadlineExceeded`.
+
+Determinism: the service moves *scheduling* around, never *streams*.  A
+seeded request's samples come from ``default_rng(SeedSequence(seed))``
+regardless of which batch, worker or retry answered it, so results are
+bit-identical across ``workers=1`` vs ``workers=2`` vs solo evaluation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core import conditionals as _cond
+from repro.core.uncertain import Uncertain
+from repro.rng import ensure_rng
+from repro.runtime.metrics import (
+    METRICS,
+    DEFAULT_LATENCY_BOUNDS,
+    LatencyHistogram,
+    render_histogram,
+)
+
+from repro.service.coalescer import CoalescerStats, evaluate_batch
+from repro.service.requests import QUERY_KINDS, QueryRequest, QueryResult
+
+__all__ = ["Service", "ServiceClosed", "ServiceOverloaded"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The pending queue exceeded ``max_pending``; the request was shed."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is not running (never started, or already stopped)."""
+
+
+#: Occupancy histogram bounds: requests per coalesced batch.
+_OCCUPANCY_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class _ServiceMetrics:
+    """Thread-safe service-level counters and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_by_kind: dict[str, int] = {}
+        self.shed = 0
+        self.rejected = 0
+        self.failures = 0
+        self.batches = 0
+        self.groups = 0
+        self.coalesced = 0
+        self.pooled = 0
+        self.engine_runs = 0
+        self.samples_drawn = 0
+        self.group_fallbacks = 0
+        self.batch_occupancy = LatencyHistogram(bounds=_OCCUPANCY_BOUNDS)
+        self.latency: dict[str, LatencyHistogram] = {}
+
+    def admit(self, kind: str) -> None:
+        with self._lock:
+            self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size: int, stats: CoalescerStats) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_occupancy.observe(size)
+            self.groups += stats.groups
+            self.coalesced += stats.coalesced_requests
+            self.pooled += stats.pooled_requests
+            self.engine_runs += stats.engine_runs
+            self.samples_drawn += stats.samples_drawn
+            self.group_fallbacks += stats.group_fallbacks
+            self.failures += stats.failures
+
+    def record_latency(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            hist = self.latency.get(kind)
+            if hist is None:
+                hist = self.latency[kind] = LatencyHistogram(
+                    bounds=DEFAULT_LATENCY_BOUNDS
+                )
+            hist.observe(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "requests_by_kind": dict(self.requests_by_kind),
+                "requests_total": sum(self.requests_by_kind.values()),
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "failures": self.failures,
+                "batches": self.batches,
+                "groups": self.groups,
+                "coalesced_requests": self.coalesced,
+                "pooled_requests": self.pooled,
+                "engine_runs": self.engine_runs,
+                "samples_drawn": self.samples_drawn,
+                "group_fallbacks": self.group_fallbacks,
+                "batch_occupancy": self.batch_occupancy.as_dict(),
+                "latency_by_kind": {
+                    kind: hist.as_dict()
+                    for kind, hist in self.latency.items()
+                },
+            }
+
+
+class Service:
+    """An asyncio front end that batches concurrent uncertainty queries.
+
+    Parameters
+    ----------
+    engine:
+        Execution engine for bulk evaluations (``"fused"`` amortises one
+        generated kernel across every same-shape request in a batch).
+        ``None`` defers to the ambient configuration.
+    window:
+        Batching window in seconds.  After dequeuing the first request a
+        worker waits this long for same-shape neighbours before
+        evaluating.  ``0.0`` disables the wait but still drains whatever
+        is already queued (natural batching under load).
+    max_batch:
+        Per-evaluation batch cap; ``1`` disables coalescing entirely
+        (the "unbatched" baseline in the load benchmark).
+    max_pending:
+        Queue bound for shedding: a ``submit`` that would make the
+        pending count exceed this raises :class:`ServiceOverloaded`.
+    workers:
+        Concurrent batch evaluators (asyncio tasks, each running its
+        batches on a shared thread pool of the same size).
+    sample_budget / deadline:
+        Admission limits, with solo-evaluation semantics (see module
+        docstring).
+    retries:
+        Per-request retries when a bulk evaluation faults and the
+        coalescer falls back to per-request evaluation.
+    pool_seed:
+        Seed for the coalescer's pooled (seedless-request) stream.
+    metrics:
+        The :class:`~repro.runtime.RuntimeMetrics` sink whose engine
+        histograms ``render_metrics`` exports; defaults to the
+        process-global sink.
+    """
+
+    def __init__(
+        self,
+        engine: "str | None" = None,
+        *,
+        window: float = 0.002,
+        max_batch: int = 256,
+        max_pending: int = 1024,
+        workers: int = 1,
+        sample_budget: "int | None" = None,
+        deadline: "float | None" = None,
+        retries: int = 1,
+        pool_seed: "int | None" = None,
+        metrics=METRICS,
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.max_pending = int(max_pending)
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self._pool_rng = ensure_rng(pool_seed)
+        self._runtime_metrics = metrics
+        self.metrics = _ServiceMetrics()
+        # Admission state shares EvaluationConfig's budget vocabulary: the
+        # service owns a private config (never installed as the ambient
+        # process config — worker threads must not race on the global).
+        self._budget = sample_budget
+        self._deadline = deadline
+        self._config: "_cond.EvaluationConfig | None" = None
+        self._queue: "asyncio.Queue | None" = None
+        self._tasks: list[asyncio.Task] = []
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._closed = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "Service":
+        if not self._closed:
+            return self
+        # A private config with the service's budgets layered over the
+        # ambient defaults; the deadline clock starts here, at start().
+        base = _cond.get_config()
+        fields = {
+            f.name: getattr(base, f.name)
+            for f in dataclasses.fields(_cond.EvaluationConfig)
+            if f.name not in (
+                "samples_drawn", "conditionals_evaluated", "samples_executed"
+            )
+        }
+        fields["sample_budget"] = self._budget
+        fields["deadline"] = self._deadline
+        if self.engine is not None:
+            fields["engine"] = self.engine
+        self._config = _cond.EvaluationConfig(**fields)
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._closed = False
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"repro-service-{i}")
+            for i in range(self.workers)
+        ]
+        return self
+
+    async def stop(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._tasks:
+            await self._queue.put(None)  # one close sentinel per worker
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "Service":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def _admission_check(self, request: QueryRequest) -> None:
+        config = self._config
+        from repro.core.sampling import DeadlineExceeded, SampleBudgetExceeded
+
+        if config.deadline is not None and time.monotonic() > config.deadline_at:
+            self.metrics.record_rejected()
+            raise DeadlineExceeded(
+                f"service deadline of {config.deadline}s expired"
+            )
+        n = request.resolve_samples(config)
+        if config.sample_budget is not None:
+            # Reserve nothing here — the coalescer charges the config when
+            # it actually draws — but reject requests that cannot fit.
+            if config.samples_executed + n > config.sample_budget:
+                self.metrics.record_rejected()
+                raise SampleBudgetExceeded(
+                    f"service sample budget exhausted: "
+                    f"{config.samples_executed} drawn + {n} requested > "
+                    f"budget {config.sample_budget}"
+                )
+
+    # -- the request path ----------------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResult:
+        """Queue one request and await its result.
+
+        Raises :class:`ServiceOverloaded` (shed), the admission errors
+        (:class:`SampleBudgetExceeded` / :class:`DeadlineExceeded`), or
+        whatever exception ultimately answered the request.
+        """
+        if self._closed or self._queue is None:
+            raise ServiceClosed("Service.submit before start() or after stop()")
+        if self._queue.qsize() >= self.max_pending:
+            self.metrics.record_shed()
+            raise ServiceOverloaded(
+                f"pending queue at bound ({self.max_pending}); request shed"
+            )
+        self._admission_check(request)
+        self.metrics.admit(request.kind)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[QueryResult]" = loop.create_future()
+        enqueued = time.perf_counter()
+        await self._queue.put((request, future, enqueued))
+        return await future
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            if self.window > 0.0 and self.max_batch > 1:
+                await asyncio.sleep(self.window)
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:  # close sentinel: put back and finish batch
+                    self._queue.put_nowait(None)
+                    break
+                batch.append(extra)
+            requests = [req for req, _, _ in batch]
+            stats = CoalescerStats()
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._evaluate, requests, stats
+                )
+            except BaseException as exc:  # defensive: executor-level failure
+                outcomes = [exc] * len(batch)
+            self.metrics.record_batch(len(batch), stats)
+            done = time.perf_counter()
+            for (req, future, enqueued), outcome in zip(batch, outcomes):
+                if future.cancelled():
+                    continue
+                latency = done - enqueued
+                self.metrics.record_latency(req.kind, latency)
+                if isinstance(outcome, BaseException):
+                    future.set_exception(outcome)
+                else:
+                    outcome.latency_s = latency
+                    future.set_result(outcome)
+
+    def _evaluate(self, requests, stats) -> list:
+        """Thread-pool entry: run the coalescer with the service config."""
+        return evaluate_batch(
+            requests,
+            engine=self._config.engine,
+            config=self._config,
+            pool_rng=self._pool_rng,
+            retries=self.retries,
+            stats=stats,
+        )
+
+    # -- per-kind conveniences ----------------------------------------------
+
+    async def pr(
+        self, value: Uncertain, threshold: float = 0.5, *,
+        samples: "int | None" = None, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="pr", threshold=threshold,
+            samples=samples, seed=seed,
+        ))
+
+    async def is_probable(
+        self, value: Uncertain, threshold: float = 0.5, *,
+        samples: "int | None" = None, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="is_probable", threshold=threshold,
+            samples=samples, seed=seed,
+        ))
+
+    async def expected_value(
+        self, value: Uncertain, *,
+        samples: "int | None" = None, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="expected_value", samples=samples, seed=seed,
+        ))
+
+    async def sample(
+        self, value: Uncertain, *, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="sample", seed=seed,
+        ))
+
+    async def samples(
+        self, value: Uncertain, n: int, *, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="samples", samples=n, seed=seed,
+        ))
+
+    async def percentiles(
+        self, value: Uncertain, n: int = 100, *,
+        samples: "int | None" = None, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="percentiles", divisions=n,
+            samples=samples, seed=seed,
+        ))
+
+    async def confidence_interval(
+        self, value: Uncertain, level: float = 0.95, *,
+        samples: "int | None" = None, seed: "int | None" = None,
+    ) -> QueryResult:
+        return await self.submit(QueryRequest(
+            value=value, kind="confidence_interval", level=level,
+            samples=samples, seed=seed,
+        ))
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-level snapshot (counters, occupancy, latency by kind)."""
+        snap = self.metrics.snapshot()
+        snap["queue_depth"] = self.queue_depth
+        snap["samples_executed"] = (
+            self._config.samples_executed if self._config is not None else 0
+        )
+        return snap
+
+    def render_metrics(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition: service gauges + runtime metrics.
+
+        Covers queue depth, batch occupancy, shed/reject counts,
+        per-kind request latency histograms (p50/p99 derivable via
+        ``histogram_quantile``), and everything the runtime sink already
+        tracks — including per-engine latency histograms.
+        """
+        snap = self.metrics.snapshot()
+        lines: list[str] = []
+
+        def counter(name: str, value, help_text: str, labels: str = "") -> None:
+            lines.append(f"# HELP {prefix}_service_{name} {help_text}")
+            kind = "gauge" if name.endswith("depth") else "counter"
+            lines.append(f"# TYPE {prefix}_service_{name} {kind}")
+            lines.append(f"{prefix}_service_{name}{labels} {value}")
+
+        counter("queue_depth", self.queue_depth, "Requests awaiting a worker.")
+        counter("shed_total", snap["shed"],
+                "Requests shed at the max_pending bound.")
+        counter("rejected_total", snap["rejected"],
+                "Requests rejected by budget/deadline admission.")
+        counter("failures_total", snap["failures"],
+                "Requests that failed during evaluation.")
+        counter("batches_total", snap["batches"], "Coalesced batches evaluated.")
+        counter("groups_total", snap["groups"],
+                "Structural groups across all batches.")
+        counter("coalesced_requests_total", snap["coalesced_requests"],
+                "Requests that shared a multi-request group.")
+        counter("pooled_requests_total", snap["pooled_requests"],
+                "Seedless requests answered from one pooled engine run.")
+        counter("engine_runs_total", snap["engine_runs"],
+                "Engine runs issued by the coalescer.")
+        counter("samples_drawn_total", snap["samples_drawn"],
+                "Joint samples drawn by the coalescer.")
+        counter("group_fallbacks_total", snap["group_fallbacks"],
+                "Bulk evaluations that fell back to per-request evaluation.")
+        for kind in QUERY_KINDS:
+            count = snap["requests_by_kind"].get(kind, 0)
+            if count:
+                lines.append(
+                    f'{prefix}_service_requests_total{{kind="{kind}"}} {count}'
+                )
+        lines.extend(render_histogram(
+            f"{prefix}_service_batch_occupancy", snap["batch_occupancy"]
+        ))
+        for kind, hist in snap["latency_by_kind"].items():
+            lines.extend(render_histogram(
+                f"{prefix}_service_request_latency_seconds", hist,
+                labels={"kind": kind},
+            ))
+        body = "\n".join(lines) + "\n"
+        return body + self._runtime_metrics.render_prometheus(prefix=prefix)

@@ -37,7 +37,7 @@ from repro.core.plan import (
     invalidate_plan,
     plan_cache_size,
 )
-from repro.core.sampling import SampleContext, execute_plan, sample_batch
+from repro.core.sampling import SampleContext
 from repro.core.uncertain import Uncertain
 from repro.dists import Gaussian, Uniform
 from repro.dists.sampling_function import FunctionDistribution
@@ -264,7 +264,7 @@ class TestMemoSemantics:
         plan = compile_plan(y)
         fixed = np.zeros(5)
         memo = {x: fixed}
-        out = execute_plan(plan, 5, default_rng(0), memo=memo)
+        out = get_engine("numpy").sample(plan, 5, default_rng(0), memo=memo)
         assert np.array_equal(out, np.ones(5))
         assert y in memo  # newly evaluated nodes are written back
 
@@ -280,14 +280,14 @@ class TestMemoSemantics:
         rng = default_rng(11)
         reference = default_rng(11)
         memo = {inner: np.zeros(4)}
-        out = execute_plan(plan, 4, rng, memo=memo)
+        out = get_engine("numpy").sample(plan, 4, rng, memo=memo)
         # Only `probe` should have drawn from the stream.
         expected = probe.dist.sample_n(4, reference)
         assert np.array_equal(out, expected)
         assert x not in memo
 
-    def test_sample_batch_matches_context_draw(self):
+    def test_engine_draw_matches_context_draw(self):
         root = every_node_kind_graph()
-        a = sample_batch(root, 32, default_rng(5))
+        a = get_engine("numpy").sample(compile_plan(root), 32, default_rng(5))
         b = SampleContext(32, default_rng(5)).value_of(root)
         assert np.array_equal(a, b)

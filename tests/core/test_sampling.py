@@ -5,16 +5,22 @@ import operator
 import numpy as np
 import pytest
 
+from repro.core.engines import get_engine
 from repro.core.graph import BinaryOpNode, LeafNode, PointMassNode
+from repro.core.plan import compile_plan
 from repro.core.sampling import (
     SampleContext,
     SamplingError,
     bernoulli_sampler,
-    sample_batch,
-    sample_once,
 )
 from repro.dists import Gaussian
 from repro.dists.sampling_function import FunctionDistribution
+
+
+def sample_batch(node, n, rng):
+    # The v2.0 replacement for the removed module-level helper: compile
+    # the node's plan and run it on the default engine.
+    return get_engine("numpy").sample(compile_plan(node), n, rng)
 
 
 class TestSampleContext:
@@ -58,8 +64,8 @@ class TestSampleBatch:
         leaf = LeafNode(Gaussian(0.0, 1.0))
         assert sample_batch(leaf, 17, rng).shape == (17,)
 
-    def test_sample_once_scalar(self, rng):
-        assert isinstance(sample_once(PointMassNode(3.0), rng), float)
+    def test_single_draw_scalar(self, rng):
+        assert isinstance(float(sample_batch(PointMassNode(3.0), 1, rng)[0]), float)
 
     def test_diamond_sharing_statistics(self, fixed_rng):
         # Var[x + x] = 4 Var[x]; a wrong (resampling) implementation

@@ -1,4 +1,4 @@
-"""The unified evaluation API: façade surface, deprecations, engine routing."""
+"""The unified evaluation API: façade surface, v2.0 removals, engine routing."""
 
 from __future__ import annotations
 
@@ -8,7 +8,6 @@ import pytest
 import repro
 from repro import Uncertain, evaluate, evaluation_config
 from repro.core.engines import NumpyEngine, register_engine
-from repro.core.sampling import execute_plan, sample_batch, sample_once
 from repro.dists import Gaussian
 from repro.runtime import RuntimeMetrics
 
@@ -35,28 +34,24 @@ def recording_engine():
     return engine
 
 
-class TestDeprecatedEntryPoints:
-    def test_sample_once_warns(self):
-        value = Uncertain(Gaussian(0.0, 1.0))
-        with pytest.warns(DeprecationWarning, match="Uncertain.sample"):
-            sample_once(value.node, rng=np.random.default_rng(0))
+class TestRemovedEntryPoints:
+    """The v1.1-deprecated module-level samplers are gone in v2.0."""
 
-    def test_sample_batch_warns(self):
-        value = Uncertain(Gaussian(0.0, 1.0))
-        with pytest.warns(DeprecationWarning, match="Uncertain.samples"):
-            out = sample_batch(value.node, 10, rng=np.random.default_rng(0))
-        assert len(out) == 10
+    def test_legacy_names_removed_from_sampling(self):
+        import repro.core.sampling as sampling
 
-    def test_execute_plan_warns(self):
-        value = Uncertain(Gaussian(0.0, 1.0))
-        with pytest.warns(DeprecationWarning, match="Uncertain.samples"):
-            out = execute_plan(value.plan, 10, rng=np.random.default_rng(0))
-        assert len(out) == 10
+        for legacy in ("sample_once", "sample_batch", "execute_plan"):
+            assert not hasattr(sampling, legacy), legacy
 
-    def test_deprecation_points_at_migration_notes(self):
-        value = Uncertain(Gaussian(0.0, 1.0))
-        with pytest.warns(DeprecationWarning, match="docs/api.md"):
-            sample_once(value.node, rng=np.random.default_rng(0))
+    def test_legacy_imports_fail(self):
+        with pytest.raises(ImportError):
+            from repro.core.sampling import sample_batch  # noqa: F401
+
+    def test_removal_documented_in_module(self):
+        import repro.core.sampling as sampling
+
+        assert "removed" in sampling.__doc__
+        assert "docs/api.md" in sampling.__doc__
 
     def test_blessed_paths_do_not_warn(self):
         import warnings

@@ -1,0 +1,73 @@
+"""The stdlib metrics endpoint: /metrics, /healthz, /stats over real HTTP."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Uncertain
+from repro.dists import Gaussian
+from repro.service import Service, serve_metrics
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+class TestMetricsServer:
+    def test_endpoints(self):
+        value = Uncertain(Gaussian(4.0, 1.0))
+
+        async def scenario():
+            async with Service(engine="numpy") as svc:
+                await svc.expected_value(value, samples=256, seed=1)
+                with serve_metrics(svc) as server:
+                    metrics = fetch(server.url + "/metrics")
+                    health = fetch(server.url + "/healthz")
+                    stats = fetch(server.url + "/stats")
+                    with pytest.raises(urllib.error.HTTPError) as missing:
+                        fetch(server.url + "/nope")
+                    return metrics, health, stats, missing.value.code
+
+        metrics, health, stats, missing_code = asyncio.run(scenario())
+
+        status, ctype, body = metrics
+        assert status == 200
+        assert ctype.startswith("text/plain") and "0.0.4" in ctype
+        assert "repro_service_requests_total" in body
+        assert "repro_engine_latency_seconds_bucket" in body
+
+        status, _, body = health
+        assert (status, body.strip()) == (200, "ok")
+
+        status, ctype, body = stats
+        assert status == 200 and ctype.startswith("application/json")
+        snapshot = json.loads(body)
+        assert snapshot["requests_total"] == 1
+
+        assert missing_code == 404
+
+    def test_healthz_reports_closed_service(self):
+        async def scenario():
+            svc = Service(engine="numpy")
+            await svc.start()
+            await svc.stop()
+            with serve_metrics(svc) as server:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    fetch(server.url + "/healthz")
+                return err.value.code
+
+        assert asyncio.run(scenario()) == 503
+
+    def test_port_zero_binds_free_port(self):
+        async def scenario():
+            async with Service(engine="numpy") as svc:
+                with serve_metrics(svc, port=0) as server:
+                    return server.port
+
+        assert asyncio.run(scenario()) > 0

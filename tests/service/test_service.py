@@ -1,0 +1,301 @@
+"""The asyncio front end: batching, determinism under concurrency, shedding.
+
+The headline test: N concurrent identical-shape requests, under
+``workers=1`` and ``workers=2``, produce answers bit-identical to serial
+per-request evaluation with the same seeds — including when a
+chaos-injected engine kills bulk evaluations mid-batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Uncertain
+from repro.dists import Gaussian
+from repro.resilience.chaos import ChaosEngine
+from repro.service import (
+    QueryRequest,
+    Service,
+    ServiceClosed,
+    ServiceOverloaded,
+    evaluate_request,
+)
+
+
+def speed_query() -> Uncertain:
+    east = Uncertain(Gaussian(4.0, 1.0))
+    north = Uncertain(Gaussian(4.0, 1.0))
+    return (east * east + north * north) ** 0.5
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def solo_reference(value, seeds, samples=64):
+    return [
+        evaluate_request(
+            QueryRequest(value=value, kind="samples", samples=samples, seed=s),
+            engine="numpy",
+        ).value
+        for s in seeds
+    ]
+
+
+class TestConcurrentDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_bit_identical_to_serial(self, workers):
+        value = speed_query()
+        seeds = list(range(16))
+        expected = solo_reference(value, seeds)
+
+        async def scenario():
+            async with Service(
+                engine="numpy", window=0.001, workers=workers
+            ) as svc:
+                return await asyncio.gather(*[
+                    svc.samples(value, 64, seed=s) for s in seeds
+                ])
+
+        results = run(scenario())
+        assert any(r.batched for r in results)  # coalescing actually happened
+        for want, got in zip(expected, results):
+            assert np.array_equal(want, got.value)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_chaos_injected_worker_kills_stay_bit_identical(self, workers):
+        # The chaos engine kills bulk evaluations nondeterministically
+        # (w.r.t. scheduling); answers must not move by a single bit.
+        value = speed_query()
+        seeds = list(range(12))
+        expected = solo_reference(value, seeds)
+        chaos = ChaosEngine(inner="numpy", seed=23, error_rate=0.3)
+
+        async def scenario():
+            async with Service(
+                engine=chaos, window=0.001, workers=workers, retries=10
+            ) as svc:
+                return await asyncio.gather(*[
+                    svc.samples(value, 64, seed=s) for s in seeds
+                ])
+
+        results = run(scenario())
+        for want, got in zip(expected, results):
+            assert np.array_equal(want, got.value)
+
+    def test_repeated_submission_is_stable(self):
+        value = speed_query()
+
+        async def once():
+            async with Service(engine="numpy", window=0.0) as svc:
+                r = await svc.expected_value(value, samples=512, seed=7)
+                return r.value
+
+        assert run(once()) == run(once())
+
+
+class TestBatching:
+    def test_flood_coalesces(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy", window=0.005) as svc:
+                await asyncio.gather(*[
+                    svc.expected_value(value, samples=128) for _ in range(32)
+                ])
+                return svc.stats()
+
+        stats = run(scenario())
+        assert stats["batches"] < 32            # fewer evaluations than requests
+        assert stats["coalesced_requests"] > 0
+        assert stats["pooled_requests"] > 0     # seedless requests pooled
+        assert stats["engine_runs"] < 32
+
+    def test_max_batch_one_disables_coalescing(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(
+                engine="numpy", window=0.0, max_batch=1
+            ) as svc:
+                results = await asyncio.gather(*[
+                    svc.samples(value, 16, seed=s) for s in range(8)
+                ])
+                return results, svc.stats()
+
+        results, stats = run(scenario())
+        assert stats["batches"] == 8
+        assert all(not r.batched for r in results)
+
+
+class TestAdmissionControl:
+    def test_shedding_at_queue_bound(self):
+        value = speed_query()
+
+        async def scenario():
+            # window keeps the worker asleep while the flood arrives.
+            async with Service(
+                engine="numpy", window=0.05, max_pending=4
+            ) as svc:
+                outcomes = await asyncio.gather(
+                    *[
+                        svc.samples(value, 16, seed=s)
+                        for s in range(32)
+                    ],
+                    return_exceptions=True,
+                )
+                return outcomes, svc.stats()
+
+        outcomes, stats = run(scenario())
+        shed = [o for o in outcomes if isinstance(o, ServiceOverloaded)]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert shed, "queue bound never shed"
+        assert served, "shedding starved every request"
+        assert stats["shed"] == len(shed)
+
+    def test_sample_budget_rejects(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy", sample_budget=200) as svc:
+                first = await svc.samples(value, 150, seed=1)
+                with pytest.raises(repro.SampleBudgetExceeded):
+                    await svc.samples(value, 150, seed=2)
+                return first, svc.stats()
+
+        first, stats = run(scenario())
+        assert len(first.value) == 150
+        assert stats["rejected"] >= 1
+
+    def test_deadline_rejects_after_expiry(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy", deadline=0.01) as svc:
+                await asyncio.sleep(0.05)
+                with pytest.raises(repro.DeadlineExceeded):
+                    await svc.sample(value, seed=1)
+
+        run(scenario())
+
+    def test_submit_after_stop_raises(self):
+        value = speed_query()
+
+        async def scenario():
+            svc = Service(engine="numpy")
+            await svc.start()
+            await svc.stop()
+            with pytest.raises(ServiceClosed):
+                await svc.sample(value, seed=0)
+
+        run(scenario())
+
+
+class TestRequestSurface:
+    def test_every_kind_round_trips(self):
+        value = speed_query()
+        cond = value > 4.0
+
+        async def scenario():
+            async with Service(engine="numpy", window=0.001) as svc:
+                return await asyncio.gather(
+                    svc.pr(cond, 0.5, samples=2_000, seed=1),
+                    svc.is_probable(cond, 0.5, samples=2_000, seed=2),
+                    svc.expected_value(value, samples=1_000, seed=3),
+                    svc.sample(value, seed=4),
+                    svc.samples(value, 32, seed=5),
+                    svc.percentiles(value, 10, samples=1_000, seed=6),
+                    svc.confidence_interval(value, 0.9, samples=1_000, seed=7),
+                )
+
+        pr, isp, ev, one, many, pct, ci = run(scenario())
+        assert isinstance(pr.value, bool) and "evidence" in pr.extra
+        assert isinstance(isp.value, bool)
+        assert ev.value == pytest.approx(5.75, abs=0.5)
+        assert np.isscalar(one.value) or np.asarray(one.value).shape == ()
+        assert len(many.value) == 32
+        assert len(pct.value) == 11
+        lo, hi = ci.value
+        assert lo < ev.value < hi
+
+    def test_results_carry_provenance_and_latency(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy", window=0.002) as svc:
+                return await asyncio.gather(*[
+                    svc.samples(value, 16, seed=s) for s in range(4)
+                ])
+
+        results = run(scenario())
+        for r in results:
+            assert r.engine == "numpy"
+            assert r.latency_s > 0.0
+            assert r.batch_size >= 1
+
+
+class TestMetricsExposition:
+    def test_render_metrics_covers_required_signals(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy", window=0.002) as svc:
+                await asyncio.gather(*[
+                    svc.expected_value(value, samples=256, seed=s)
+                    for s in range(6)
+                ])
+                return svc.render_metrics()
+
+        text = run(scenario())
+        # Queue depth, occupancy, shed count, per-kind and per-engine
+        # latency histograms: the acceptance checklist for observability.
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_shed_total" in text
+        assert "repro_service_batch_occupancy_bucket" in text
+        assert 'repro_service_requests_total{kind="expected_value"} 6' in text
+        assert 'repro_service_request_latency_seconds_bucket{kind="expected_value"' in text
+        assert 'repro_engine_latency_seconds_bucket{engine="numpy"' in text
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, tail = line.rpartition(" ")
+            assert name, f"malformed exposition line: {line!r}"
+            float(tail)
+
+    def test_stats_snapshot_shape(self):
+        value = speed_query()
+
+        async def scenario():
+            async with Service(engine="numpy") as svc:
+                await svc.sample(value, seed=0)
+                return svc.stats()
+
+        stats = run(scenario())
+        for key in (
+            "requests_total", "requests_by_kind", "queue_depth", "shed",
+            "rejected", "batches", "groups", "coalesced_requests",
+            "pooled_requests", "engine_runs", "samples_drawn",
+            "batch_occupancy", "latency_by_kind", "samples_executed",
+        ):
+            assert key in stats, key
+        assert stats["requests_total"] == 1
+        assert stats["latency_by_kind"]["sample"]["count"] == 1
+
+
+class TestConstructionValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": -0.1},
+            {"max_batch": 0},
+            {"max_pending": 0},
+            {"workers": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Service(**kwargs)
