@@ -1,0 +1,33 @@
+"""Host metadata stamped into every ``BENCH_*.json``.
+
+Perf numbers from different containers are only comparable when the
+artifact says what hardware and library versions produced them; every
+benchmark writer merges :func:`host_metadata` under a ``"host"`` key.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+
+def host_metadata() -> dict:
+    """CPU count, interpreter, numpy version, and platform of this host."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": os.path.basename(sys.executable),
+    }
+
+
+def stamp_host(data: dict) -> dict:
+    """Merge host metadata into a bench-results dict (in place)."""
+    data["host"] = host_metadata()
+    return data

@@ -22,6 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks._host import stamp_host
+
 from repro import Uncertain
 from repro.core.engines import NumpyEngine
 from repro.dists import Gaussian
@@ -105,6 +107,7 @@ def test_parallel_engine_throughput(benchmark):
         "parallel_samples_per_second": N / parallel_s,
         "deterministic": deterministic,
     }
+    stamp_host(result)
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print()
     print(json.dumps(result, indent=2))

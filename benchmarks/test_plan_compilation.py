@@ -25,6 +25,8 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks._host import stamp_host
+
 from repro.core.conditionals import evaluation_config
 from repro.core.engines import get_engine
 from repro.core.graph import BinaryOpNode, LeafNode, node_count
@@ -52,6 +54,7 @@ def _update_results(section: str, payload: dict) -> None:
         except (OSError, ValueError):
             pass
     data[section] = payload
+    stamp_host(data)
     RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 

@@ -22,6 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks._host import stamp_host
+
 from repro import Uncertain
 from repro.core.engines import NumpyEngine
 from repro.dists import Gaussian
@@ -79,6 +81,7 @@ def test_health_hook_overhead_is_negligible(benchmark):
         "budget_fraction": OVERHEAD_BUDGET,
         "within_budget": bool(overhead < OVERHEAD_BUDGET),
     }
+    stamp_host(result)
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print()
     print(json.dumps(result, indent=2))

@@ -31,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks._host import stamp_host
+
 from repro import Uncertain
 from repro.dists import Gaussian
 from repro.service import QueryRequest, Service, evaluate_request
@@ -163,6 +165,7 @@ def test_service_load(benchmark):
         "batched_over_unbatched": speedup,
         "deterministic": deterministic,
     }
+    stamp_host(result)
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print()
     print(json.dumps(result, indent=2))

@@ -117,6 +117,13 @@ class EvaluationConfig:
     #: Retry cap for ``on_nonfinite="resample"``; exhausting it raises
     #: :class:`~repro.resilience.NonFiniteError`.
     nonfinite_retries: int = 8
+    #: Cross-query sample ledger (:mod:`repro.core.ledger`): ``False``
+    #: (default) disables, ``True`` enables with the default 64 MiB byte
+    #: budget, an ``int`` enables with that byte budget.  When enabled,
+    #: repeated queries over the same plan shape reuse cached sample
+    #: columns, drawing only stream suffixes (see ``docs/performance.md``
+    #: for the bit-identity and invalidation contract).
+    sample_cache: "bool | int" = False
     #: Policy for hypothesis tests that truncate without significance:
     #: ``"best-guess"`` (the paper's ternary mapping, the default),
     #: ``"warn"``, or ``"raise"``
@@ -146,6 +153,17 @@ class EvaluationConfig:
             raise ValueError(
                 f"nonfinite_retries must be >= 0, got {self.nonfinite_retries}"
             )
+        if not isinstance(self.sample_cache, bool):
+            if not isinstance(self.sample_cache, int):
+                raise ValueError(
+                    "sample_cache must be a bool or an int byte budget, "
+                    f"got {self.sample_cache!r}"
+                )
+            if self.sample_cache <= 0:
+                raise ValueError(
+                    "sample_cache byte budget must be positive, got "
+                    f"{self.sample_cache}"
+                )
 
     def make_test(self, threshold: float) -> HypothesisTest:
         """Construct the hypothesis test for a conditional at ``threshold``."""

@@ -409,17 +409,39 @@ def compile_plan(
     return plan
 
 
+def _invalidate_ledger(plan) -> None:
+    """Drop sample-ledger entries derived from ``plan``, if the ledger is
+    live.  Resolved through ``sys.modules`` so processes that never used
+    the ledger (parallel workers, import-light tools) don't import it."""
+    import sys
+
+    ledger_mod = sys.modules.get("repro.core.ledger")
+    if ledger_mod is not None and plan is not None:
+        ledger_mod.LEDGER.invalidate_entries(plan)
+
+
 def invalidate_plan(root: Node) -> bool:
-    """Drop the cached plan for ``root``; returns whether one existed."""
+    """Drop the cached plan for ``root``; returns whether one existed.
+
+    Cached sample columns derived from the plan (the cross-query ledger,
+    :mod:`repro.core.ledger`) are invalidated with it.
+    """
     had = root._compiled_plan is not None
+    if had:
+        _invalidate_ledger(root._compiled_plan)
     root._compiled_plan = None
     _PLANNED_ROOTS.discard(root)
     return had
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (all future draws recompile)."""
+    """Drop every cached plan (all future draws recompile).
+
+    Ledger entries keyed by the dropped plans' shapes are dropped too.
+    """
     for node in list(_PLANNED_ROOTS):
+        if node._compiled_plan is not None:
+            _invalidate_ledger(node._compiled_plan)
         node._compiled_plan = None
     _PLANNED_ROOTS.clear()
 

@@ -64,6 +64,7 @@ def _execute_plan(
     rng: np.random.Generator | int | None = None,
     memo: dict[Node, np.ndarray] | None = None,
     engine: "str | ExecutionEngine | None" = None,
+    use_ledger: bool = True,
 ) -> np.ndarray:
     """Internal, warning-free plan execution used by every runtime caller.
 
@@ -71,11 +72,26 @@ def _execute_plan(
     (every draw in the process funnels through here), resolves the engine
     (explicit argument beats the ambient config), and delegates to the
     engine's instrumented ``sample``.
+
+    When ``config.sample_cache`` is enabled, eligible draws are served
+    from the cross-query :class:`~repro.core.ledger.SampleLedger` (cached
+    prefix + freshly drawn suffix; admission charged inside the ledger
+    for the suffix only).  Sequential-batch callers — the SPRT loop,
+    adaptive expectation — must pass ``use_ledger=False`` and read
+    through a :meth:`~repro.core.ledger.SampleLedger.open_window` handle
+    instead, because a ledger prefix read would hand every batch the
+    *same* rows.
     """
     if n <= 0:
         raise ValueError(f"batch size must be positive, got {n}")
     n = int(n)
     config = _cond.get_config()
+    if use_ledger and memo is None and config.sample_cache:
+        from repro.core.ledger import LEDGER
+
+        rows = LEDGER.serve(plan, n, rng, engine, config)
+        if rows is not None:
+            return rows
     if config.deadline is not None and monotonic() > config.deadline_at:
         raise DeadlineExceeded(
             f"evaluation deadline of {config.deadline}s expired before a "
@@ -160,8 +176,19 @@ def bernoulli_sampler(root: Node, rng: np.random.Generator):
     plan = compile_plan(
         root, telemetry=config.plan_telemetry, analyze=config.plan_analyzer
     )
+    window = None
+    if config.sample_cache:
+        from repro.core.ledger import LEDGER
+
+        window = LEDGER.open_window(plan, rng, None, config)
 
     def draw(k: int) -> np.ndarray:
-        return np.asarray(_execute_plan(plan, k, rng), dtype=bool)
+        if window is not None:
+            rows = window.draw(k)
+            if rows is not None:
+                return np.asarray(rows, dtype=bool)
+        return np.asarray(
+            _execute_plan(plan, k, rng, use_ledger=False), dtype=bool
+        )
 
     return draw

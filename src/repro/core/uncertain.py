@@ -624,9 +624,23 @@ class UncertainBool(Uncertain):
             test = config.make_test(threshold)
         rng = self._resolve_rng(rng)
         plan = self.plan
+        window = None
+        if config.sample_cache:
+            from repro.core.ledger import LEDGER
+
+            window = LEDGER.open_window(plan, rng, None, config)
 
         def draw(k: int) -> np.ndarray:
-            return np.asarray(_execute_plan(plan, k, rng), dtype=bool)
+            # Sequential batches read disjoint windows of one ledger
+            # stream; a plain ledger read would hand every batch the
+            # same prefix rows and wreck the test's statistics.
+            if window is not None:
+                rows = window.draw(k)
+                if rows is not None:
+                    return np.asarray(rows, dtype=bool)
+            return np.asarray(
+                _execute_plan(plan, k, rng, use_ledger=False), dtype=bool
+            )
 
         result = test.run(draw)
         config.record(result.samples_used)

@@ -92,6 +92,27 @@ def is_probable(value, threshold=0.5, rng=None):
     return value.is_probable(threshold, rng=rng)
 
 
+def clear_caches() -> None:
+    """Drop every process-global evaluation cache in one call.
+
+    Clears, in dependency order: the per-root compiled-plan cache and the
+    sample-ledger entries it keys (:func:`repro.core.plan.clear_plan_cache`),
+    the structural plan LRU, the fused-kernel cache, and — explicitly, in
+    case entries outlive their plans — the cross-query sample ledger.
+    After this call no evaluation state survives: every future draw
+    recompiles, regenerates kernels, and redraws samples.
+    """
+    from repro.core.fused import clear_kernel_cache
+    from repro.core.ledger import clear_ledger
+    from repro.core.plan import clear_plan_cache
+    from repro.core.structural import clear_structural_cache
+
+    clear_plan_cache()
+    clear_structural_cache()
+    clear_kernel_cache()
+    clear_ledger()
+
+
 __all__ = [
     # configure
     "EvaluationConfig",
@@ -111,6 +132,7 @@ __all__ = [
     "confidence_interval",
     "is_probable",
     # observe
+    "clear_caches",
     "stats",
     "reset_stats",
     "RuntimeMetrics",

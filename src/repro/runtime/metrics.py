@@ -212,6 +212,7 @@ class RuntimeMetrics:
         self, chunks: int = 0, retries: int = 0, crashes: int = 0,
         fallbacks: int = 0, serial_rescues: int = 0,
         payload_skips: int = 0, payload_misses: int = 0,
+        auto_serial: int = 0,
     ) -> None:
         self.parallel_chunks += chunks
         self.parallel_retries += retries
@@ -220,6 +221,37 @@ class RuntimeMetrics:
         self.parallel_serial_rescues += serial_rescues
         self.parallel_payload_skips += payload_skips
         self.parallel_payload_misses += payload_misses
+        self.parallel_auto_serial += auto_serial
+
+    def record_ledger(
+        self, hits: int = 0, misses: int = 0, suffix_extensions: int = 0,
+        rows_reused: int = 0, rows_drawn: int = 0, evictions: int = 0,
+        probes: int = 0, certified: int = 0, rejections: int = 0,
+        bypasses: int = 0, invalidations: int = 0,
+        bytes_now: int | None = None, entries_now: int | None = None,
+    ) -> None:
+        """Sample-ledger events (``repro.core.ledger``).
+
+        Counters accumulate (cache hits, suffix extensions, reused vs
+        freshly drawn rows, evictions, certify-or-probe outcomes);
+        ``bytes_now``/``entries_now`` are gauges overwritten with the
+        ledger's current footprint after each mutation.
+        """
+        self.ledger_hits += hits
+        self.ledger_misses += misses
+        self.ledger_suffix_extensions += suffix_extensions
+        self.ledger_rows_reused += rows_reused
+        self.ledger_rows_drawn += rows_drawn
+        self.ledger_evictions += evictions
+        self.ledger_probes += probes
+        self.ledger_certified += certified
+        self.ledger_rejections += rejections
+        self.ledger_bypasses += bypasses
+        self.ledger_invalidations += invalidations
+        if bytes_now is not None:
+            self.ledger_bytes = int(bytes_now)
+        if entries_now is not None:
+            self.ledger_entries = int(entries_now)
 
     # -- resilience layer ---------------------------------------------------
 
@@ -282,6 +314,20 @@ class RuntimeMetrics:
             self.parallel_serial_rescues = 0
             self.parallel_payload_skips = 0
             self.parallel_payload_misses = 0
+            self.parallel_auto_serial = 0
+            self.ledger_hits = 0
+            self.ledger_misses = 0
+            self.ledger_suffix_extensions = 0
+            self.ledger_rows_reused = 0
+            self.ledger_rows_drawn = 0
+            self.ledger_evictions = 0
+            self.ledger_probes = 0
+            self.ledger_certified = 0
+            self.ledger_rejections = 0
+            self.ledger_bypasses = 0
+            self.ledger_invalidations = 0
+            self.ledger_bytes = 0
+            self.ledger_entries = 0
             self.nonfinite_batches = 0
             self.nonfinite_rows = 0
             self.nonfinite_resamples = 0
@@ -298,8 +344,8 @@ class RuntimeMetrics:
         """A consistent, JSON-serialisable copy of every counter.
 
         Schema (see ``docs/runtime.md``): top-level keys ``plans``,
-        ``engines``, ``tests``, ``expectations``, ``conditionals``, and
-        ``parallel``.
+        ``engines``, ``tests``, ``expectations``, ``conditionals``,
+        ``parallel``, and ``ledger``.
         """
         with self._lock:
             return {
@@ -344,6 +390,22 @@ class RuntimeMetrics:
                     "serial_rescues": self.parallel_serial_rescues,
                     "payload_skips": self.parallel_payload_skips,
                     "payload_misses": self.parallel_payload_misses,
+                    "auto_serial": self.parallel_auto_serial,
+                },
+                "ledger": {
+                    "hits": self.ledger_hits,
+                    "misses": self.ledger_misses,
+                    "suffix_extensions": self.ledger_suffix_extensions,
+                    "rows_reused": self.ledger_rows_reused,
+                    "rows_drawn": self.ledger_rows_drawn,
+                    "evictions": self.ledger_evictions,
+                    "probes": self.ledger_probes,
+                    "certified": self.ledger_certified,
+                    "rejections": self.ledger_rejections,
+                    "bypasses": self.ledger_bypasses,
+                    "invalidations": self.ledger_invalidations,
+                    "bytes": self.ledger_bytes,
+                    "entries": self.ledger_entries,
                 },
                 "health": {
                     "nonfinite_batches": self.nonfinite_batches,

@@ -178,6 +178,10 @@ class ParallelEngine(ExecutionEngine):
         Pool size; defaults to ``os.cpu_count()``.  ``workers=0`` (or 1)
         keeps the sharded determinism model but executes every chunk
         serially in-process — useful as a reference and for debugging.
+        When the *default* resolves to a single CPU, the engine degrades
+        to that serial path automatically (same stream, no pool build),
+        warning once and counting ``parallel.auto_serial`` in the
+        runtime metrics.
     chunk_size:
         Fixed chunk size, or ``None`` for the adaptive-in-``n`` default.
         Part of the stream definition: changing it changes the samples.
@@ -219,6 +223,12 @@ class ParallelEngine(ExecutionEngine):
         mp_context=None,
     ) -> None:
         self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
+        #: Auto-sized onto a host with nothing to parallelise across: every
+        #: batch takes the serial path (same sharded stream, zero pool
+        #: overhead) and the degradation is surfaced once per engine via a
+        #: warning plus the ``parallel.auto_serial`` metric.
+        self._auto_single = workers is None and self.workers <= 1
+        self._warned_auto_serial = False
         self.chunk_size = chunk_size
         self.inner = inner
         self.max_retries = int(max_retries)
@@ -331,10 +341,25 @@ class ParallelEngine(ExecutionEngine):
         metric = _metrics.active()
         plan_key, payload = self._payload_for(plan)
         serial = payload is None or len(chunks) == 1 or self.workers <= 1
+        auto_serial = (
+            serial and self._auto_single
+            and payload is not None and len(chunks) > 1
+        )
         if metric is not None:
             metric.record_parallel(
                 chunks=len(chunks),
                 fallbacks=int(payload is None),
+                auto_serial=int(auto_serial),
+            )
+        if auto_serial and not self._warned_auto_serial:
+            self._warned_auto_serial = True
+            warnings.warn(
+                "ParallelEngine auto-sized to a single-CPU host "
+                "(os.cpu_count() <= 1); executing chunks serially in-process "
+                "with the same sharded stream instead of paying process-pool "
+                "overhead. Pass workers= explicitly to force a pool",
+                RuntimeWarning,
+                stacklevel=4,
             )
         if serial:
             inner = get_engine(self.inner)

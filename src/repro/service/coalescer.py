@@ -77,6 +77,9 @@ class CoalescerStats:
     group_fallbacks: int = 0
     #: Requests that ultimately failed (exception outcome).
     failures: int = 0
+    #: Pooled seedless rows served from the cross-query sample ledger
+    #: instead of a fresh engine run (``config.sample_cache`` on).
+    ledger_served: int = 0
 
 
 #: One entry per request: either a ``QueryResult`` or the exception that
@@ -187,13 +190,26 @@ def _evaluate_group(
                 extra=extra,
             )
         # Seedless requests: ONE pooled run sliced across requests.
+        # With the sample ledger on, the pooled run is served from (and
+        # feeds) the cross-query cache — repeated same-shape floods reuse
+        # rows instead of redrawing.  Seeded requests above deliberately
+        # bypass the ledger: their per-request streams are the solo
+        # bit-identity contract.
         if pooled:
             counts = [r.resolve_samples(config) for _, r in pooled]
             total = int(sum(counts))
-            _admit(config, total)
-            rows = _draw(plan, total, pool_rng, engine)
-            stats.engine_runs += 1
-            stats.samples_drawn += total
+            rows = None
+            if config.sample_cache:
+                from repro.core.ledger import LEDGER
+
+                rows = LEDGER.serve(plan, total, pool_rng, engine, config)
+            if rows is not None:
+                stats.ledger_served += total
+            else:
+                _admit(config, total)
+                rows = _draw(plan, total, pool_rng, engine)
+                stats.engine_runs += 1
+                stats.samples_drawn += total
             offset = 0
             for (i, req), n in zip(pooled, counts):
                 values = rows[offset:offset + n]
