@@ -73,7 +73,7 @@ from repro import evaluate
 from repro import resilience
 from repro import service
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     # the type

@@ -35,6 +35,7 @@ from repro.core.plan import (
     PlanTelemetry,
 )
 from repro.resilience import health as _health
+from repro.runtime import cancellation as _cancel
 from repro.runtime import metrics as _metrics
 from repro.runtime import trace as _trace
 
@@ -183,12 +184,22 @@ class NumpyEngine(ExecutionEngine):
 
     def run(self, plan, n, rng, memo=None, telemetry=None):
         values: list = [None] * len(plan.steps)
+        # Cooperative cancellation: the ambient token (installed by the
+        # service tier or an ambient deadline) is polled once per program
+        # step — the engine's natural batch boundary.  ``token`` is None
+        # for ordinary evaluations, so the hot path pays one predictable
+        # branch per step and nothing else; checks never touch ``rng``.
+        token = _cancel.current()
+        step_i = 0
         if memo is None and telemetry is None:
             # Hot path (the SPRT loop, expectations): run the specialized
             # program with bound callables and no bookkeeping.
             shape = (n,)
             with np.errstate(**_ERRSTATE):
                 for entry in plan.program:
+                    if token is not None:
+                        token.check(step=step_i, steps=len(plan.program))
+                        step_i += 1
                     opcode = entry[0]
                     if opcode == OP_BINARY:
                         _, op, slot, a, b, node = entry
@@ -222,6 +233,9 @@ class NumpyEngine(ExecutionEngine):
         if telemetry is None:
             with np.errstate(**_ERRSTATE):
                 for step in steps:
+                    if token is not None:
+                        token.check(step=step_i, steps=len(steps))
+                        step_i += 1
                     opcode = step.opcode
                     node = step.node
                     if opcode == OP_BINARY:
@@ -241,6 +255,9 @@ class NumpyEngine(ExecutionEngine):
         else:
             with np.errstate(**_ERRSTATE):
                 for step in steps:
+                    if token is not None:
+                        token.check(step=step_i, steps=len(steps))
+                        step_i += 1
                     start = perf_counter()
                     out = step.node.evaluate_batch(
                         [values[i] for i in step.parent_slots], n, rng
@@ -270,6 +287,7 @@ class InterpreterEngine(ExecutionEngine):
     def run(self, plan, n, rng, memo=None, telemetry=None):
         local: dict[Node, np.ndarray] = dict(memo) if memo else {}
         stack: list[tuple[Node, bool]] = [(plan.root, False)]
+        token = _cancel.current()
         with np.errstate(**_ERRSTATE):
             while stack:
                 node, expanded = stack.pop()
@@ -281,6 +299,8 @@ class InterpreterEngine(ExecutionEngine):
                         if parent not in local:
                             stack.append((parent, False))
                 else:
+                    if token is not None:
+                        token.check(nodes_done=len(local), steps=len(plan.steps))
                     start = perf_counter() if telemetry is not None else 0.0
                     parent_values = [local[p] for p in node.parents]
                     out = _check_batch(

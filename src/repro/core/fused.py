@@ -75,6 +75,7 @@ from repro.core.graph import (
     UnaryOpNode,
 )
 from repro.core.plan import OP_SOURCE, EvaluationPlan, PlanStep
+from repro.runtime import cancellation as _cancel
 from repro.runtime import metrics as _metrics
 
 
@@ -785,7 +786,12 @@ class FusedEngine(ExecutionEngine):
         if bound is None:
             bound = _prepare(plan, self.use_numexpr)
         if bound is _FALLBACK:
+            # The inner engine polls the ambient token per program step.
             return self.inner.run(plan, n, rng)
+        # A generated kernel is one indivisible batch: the boundary check
+        # is before launch (delegated runs inherit the inner engine's
+        # finer per-step boundaries).
+        _cancel.check_current(kernel=plan.structural_hash, n=int(n))
         values: list = [None] * len(plan.steps)
         values[plan.root_slot] = bound.kernel(n, rng)
         return values

@@ -38,6 +38,7 @@ from repro.core.engines import ExecutionEngine, get_engine
 from repro.core.graph import Node
 from repro.core.plan import EvaluationPlan, compile_plan
 from repro.rng import ensure_rng
+from repro.runtime import cancellation as _cancel
 
 
 class SamplingError(RuntimeError):
@@ -105,6 +106,22 @@ def _execute_plan(
             )
     config.samples_executed += n
     eng = get_engine(engine if engine is not None else config.engine)
+    if config.deadline is not None and _cancel.current() is None:
+        # The pre-draw check above only catches a deadline that expired
+        # *between* draws; installing a deadline token lets the engines
+        # stop a long draw at their next batch boundary too.  An already-
+        # installed token (the service tier's per-request one) wins.
+        with _cancel.scope(_cancel.CancellationToken(
+            deadline_at=config.deadline_at
+        )):
+            try:
+                return eng.sample(plan, n, ensure_rng(rng), memo=memo,
+                                  telemetry=config.plan_telemetry)
+            except _cancel.EvaluationCancelled as exc:
+                raise DeadlineExceeded(
+                    f"evaluation deadline of {config.deadline}s expired "
+                    f"mid-draw at {exc.progress or 'start'}"
+                ) from exc
     return eng.sample(plan, n, ensure_rng(rng), memo=memo,
                       telemetry=config.plan_telemetry)
 

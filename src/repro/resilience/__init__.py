@@ -66,6 +66,8 @@ __all__ = [
     "ChaosEngine",
     "InjectedFault",
     "arm_kill_sentinel",
+    "latency_storm",
+    "flood_requests",
 ]
 
 _LAZY = {
@@ -78,6 +80,8 @@ _LAZY = {
     "ChaosEngine": "repro.resilience.chaos",
     "InjectedFault": "repro.resilience.chaos",
     "arm_kill_sentinel": "repro.resilience.chaos",
+    "latency_storm": "repro.resilience.chaos",
+    "flood_requests": "repro.resilience.chaos",
 }
 
 

@@ -171,18 +171,30 @@ class ChaosEngine(ExecutionEngine):
         error_rate: float = 0.0,
         latency_s: float = 0.0,
         latency_rate: float = 1.0,
+        storm_calls: int = 0,
     ) -> None:
+        if storm_calls < 0:
+            raise ValueError(f"storm_calls must be >= 0, got {storm_calls}")
         self.inner = get_engine(inner)
         self.seed = int(seed)
         self.error_rate = float(error_rate)
         self.latency_s = float(latency_s)
         self.latency_rate = float(latency_rate)
+        #: Latency storm: the first ``storm_calls`` batches stall
+        #: *unconditionally* (no chaos-RNG coin flip), so a storm of a
+        #: known length is scriptable — the overload/cancellation tests
+        #: need "every batch is slow for a while", not "some batches are
+        #: slow sometimes".
+        self.storm_calls = int(storm_calls)
         self.calls = 0
 
     def _misbehave(self) -> None:
         self.calls += 1
         chaos = np.random.default_rng((self.seed, self.calls))
-        if self.latency_s > 0.0 and chaos.random() < self.latency_rate:
+        if self.latency_s > 0.0 and (
+            self.calls <= self.storm_calls
+            or chaos.random() < self.latency_rate
+        ):
             time.sleep(self.latency_s)
         if self.error_rate > 0.0 and chaos.random() < self.error_rate:
             _trace.event("chaos.engine.raise", call=self.calls)
@@ -201,3 +213,55 @@ class ChaosEngine(ExecutionEngine):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ChaosEngine inner={self.inner.name!r} seed={self.seed}>"
+
+
+# ---------------------------------------------------------------------------
+# Canned scenarios for the overload/degradation suite.
+# ---------------------------------------------------------------------------
+
+
+def latency_storm(
+    stall_s: float = 0.05,
+    batches: int = 8,
+    inner: str = "numpy",
+    seed: int = 0,
+) -> ChaosEngine:
+    """A :class:`ChaosEngine` whose first ``batches`` runs each stall
+    ``stall_s`` seconds unconditionally, then behave normally.
+
+    The canonical overload scenario: every in-flight evaluation is slow
+    for a bounded storm, which drives queue pressure up (brownout
+    escalation), trips per-request deadlines mid-run (cooperative
+    cancellation), and then clears so recovery is observable.
+    """
+    return ChaosEngine(
+        inner=inner, seed=seed, latency_s=stall_s,
+        latency_rate=0.0, storm_calls=batches,
+    )
+
+
+def flood_requests(
+    value,
+    count: int,
+    *,
+    kind: str = "expected_value",
+    samples: int | None = None,
+    seeds: bool = False,
+    deadline: float | None = None,
+):
+    """``count`` identical service requests over ``value`` — the flood.
+
+    With ``seeds=True`` every request gets a distinct seed (each costs
+    its own engine run: the worst-case flood); seedless floods coalesce
+    into pooled draws.  ``deadline`` attaches a per-request deadline so
+    a flood under a latency storm exercises cancellation too.
+    """
+    from repro.service.requests import QueryRequest  # avoid a hard layer dep
+
+    return [
+        QueryRequest(
+            value=value, kind=kind, samples=samples,
+            seed=(1000 + i) if seeds else None, deadline=deadline,
+        )
+        for i in range(count)
+    ]

@@ -87,6 +87,14 @@ class CircuitBreaker:
         self._outcomes: list[bool] = []  # True = failure
         self._open_draws = 0
 
+    @property
+    def recovery_remaining(self) -> int:
+        """Refused draws left before an OPEN breaker probes the primary
+        (0 when CLOSED or HALF_OPEN) — the basis for retry-after hints."""
+        if self.state != OPEN:
+            return 0
+        return max(0, self.recovery_calls - self._open_draws)
+
     def allow_primary(self) -> bool:
         """May the next draw try the primary source?
 

@@ -22,6 +22,7 @@ lazily via module ``__getattr__``.
 
 from __future__ import annotations
 
+from repro.runtime.cancellation import CancellationToken, EvaluationCancelled
 from repro.runtime.metrics import (
     METRICS,
     EngineStats,
@@ -35,6 +36,8 @@ __all__ = [
     "ParallelEngine",
     "chunk_layout",
     "spawn_chunk_seeds",
+    "CancellationToken",
+    "EvaluationCancelled",
     "RuntimeMetrics",
     "EngineStats",
     "LatencyHistogram",

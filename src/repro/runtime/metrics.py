@@ -277,6 +277,29 @@ class RuntimeMetrics:
         self.breaker_trips += trips
         self.breaker_recoveries += recoveries
 
+    def record_degradation(
+        self, transitions: int = 0, degraded: int = 0, shed: int = 0,
+        cancelled: int = 0, bulkhead_rejections: int = 0,
+        level_now: int | None = None, breakers_open_now: int | None = None,
+    ) -> None:
+        """Overload-control events from the service tier.
+
+        Counters accumulate (brownout level transitions, requests
+        answered degraded, shed at the queue bound, cancelled mid-flight,
+        refused by a group bulkhead); ``level_now`` and
+        ``breakers_open_now`` are gauges overwritten with the current
+        brownout level / count of non-closed group breakers.
+        """
+        self.degradation_transitions += transitions
+        self.degraded_requests += degraded
+        self.shed_requests += shed
+        self.cancelled_evaluations += cancelled
+        self.bulkhead_rejections += bulkhead_rejections
+        if level_now is not None:
+            self.degradation_level = int(level_now)
+        if breakers_open_now is not None:
+            self.group_breakers_open = int(breakers_open_now)
+
     def record_inconclusive(self, policy: str) -> None:
         """One truncated hypothesis test, handled under ``policy``."""
         self.inconclusive_tests += 1
@@ -339,13 +362,21 @@ class RuntimeMetrics:
             self.breaker_recoveries = 0
             self.inconclusive_tests = 0
             self.inconclusive_by_policy: dict[str, int] = {}
+            self.degradation_transitions = 0
+            self.degraded_requests = 0
+            self.shed_requests = 0
+            self.cancelled_evaluations = 0
+            self.bulkhead_rejections = 0
+            self.degradation_level = 0
+            self.group_breakers_open = 0
 
     def snapshot(self) -> dict:
         """A consistent, JSON-serialisable copy of every counter.
 
         Schema (see ``docs/runtime.md``): top-level keys ``plans``,
         ``engines``, ``tests``, ``expectations``, ``conditionals``,
-        ``parallel``, and ``ledger``.
+        ``parallel``, ``ledger``, ``health``, ``sources``, and
+        ``degradation``.
         """
         with self._lock:
             return {
@@ -419,6 +450,15 @@ class RuntimeMetrics:
                     "fallbacks": self.source_fallbacks,
                     "breaker_trips": self.breaker_trips,
                     "breaker_recoveries": self.breaker_recoveries,
+                },
+                "degradation": {
+                    "transitions": self.degradation_transitions,
+                    "degraded_requests": self.degraded_requests,
+                    "shed_requests": self.shed_requests,
+                    "cancelled_evaluations": self.cancelled_evaluations,
+                    "bulkhead_rejections": self.bulkhead_rejections,
+                    "level": self.degradation_level,
+                    "group_breakers_open": self.group_breakers_open,
                 },
             }
 

@@ -74,6 +74,7 @@ from repro.core.sampling import (
     SampleBudgetExceeded,
     SamplingError,
 )
+from repro.runtime import cancellation as _cancel
 from repro.runtime import metrics as _metrics
 from repro.runtime import trace as _trace
 
@@ -362,17 +363,48 @@ class ParallelEngine(ExecutionEngine):
                 stacklevel=4,
             )
         if serial:
+            # Chunk boundaries are the cancellation boundaries: the
+            # ambient token is polled between chunks (the inner engine
+            # also polls it per program step within each chunk).
             inner = get_engine(self.inner)
-            parts = [
-                inner.run(plan, size, np.random.default_rng(seed))[plan.root_slot]
-                for size, seed in zip(chunks, seeds)
-            ]
+            token = _cancel.current()
+            parts: list = []
+            rows_done = 0
+            for done, (size, seed) in enumerate(zip(chunks, seeds)):
+                if token is not None:
+                    token.check(
+                        chunks_done=done, chunks=len(chunks),
+                        rows_done=rows_done,
+                    )
+                parts.append(
+                    inner.run(plan, size, np.random.default_rng(seed))[
+                        plan.root_slot
+                    ]
+                )
+                rows_done += size
             return parts[0] if len(parts) == 1 else np.concatenate(parts)
         return self._dispatch(plan, plan_key, payload, chunks, seeds, metric)
 
     def _dispatch(self, plan, plan_key, payload, chunks, seeds, metric) -> np.ndarray:
         deadline_at = None if self.deadline is None else monotonic() + self.deadline
+        token = _cancel.current()
         results: list = [None] * len(chunks)
+
+        def _cancel_check() -> None:
+            # Workers run in separate processes where the ambient token
+            # does not exist; the parent polls it while collecting chunk
+            # results and abandons the pool on cancellation (stragglers
+            # die with the discarded pool, nothing is awaited further).
+            if token is not None and token.cancelled:
+                self._discard_pool()
+                token.check(
+                    chunks_done=sum(r is not None for r in results),
+                    chunks=len(chunks),
+                    rows_done=sum(
+                        size for size, r in zip(chunks, results)
+                        if r is not None
+                    ),
+                )
         todo = list(range(len(chunks)))
         rounds = 0
         last_error: BaseException | None = None
@@ -400,12 +432,23 @@ class ParallelEngine(ExecutionEngine):
                 missed: list[int] = []
                 broken = False
                 for i, future in futures.items():
+                    _cancel_check()
                     timeout = None
                     if deadline_at is not None:
                         timeout = max(0.0, deadline_at - monotonic())
+                    if token is not None and token.deadline_at is not None:
+                        left = max(0.0, token.deadline_at - monotonic())
+                        timeout = left if timeout is None else min(timeout, left)
                     try:
                         results[i] = future.result(timeout=timeout)
                     except TimeoutError:
+                        if deadline_at is None and token is not None:
+                            # Only the token's deadline can have set this
+                            # timeout; promote the expiry explicitly so
+                            # the race at the exact boundary cannot fall
+                            # through to the engine-deadline error below.
+                            token.cancel("deadline")
+                        _cancel_check()  # token deadline: EvaluationCancelled
                         self._discard_pool()  # drop stragglers with the pool
                         raise DeadlineExceeded(
                             f"parallel sampling exceeded its {self.deadline}s "

@@ -21,6 +21,13 @@ Layering:
   fault isolation.  Directly testable without an event loop.
 - :mod:`repro.service.service`   — the asyncio front end: queueing,
   batching windows, shedding, worker tasks, metrics exposition.
+- :mod:`repro.service.errors`    — the structured error taxonomy
+  (:class:`ServiceOverloaded`, :class:`BulkheadRejected`, ...).
+- :mod:`repro.service.degradation` — graceful degradation under
+  overload: the :class:`BrownoutController` (queue-pressure-driven
+  sample-budget levels), :class:`DegradationRecord` provenance, and
+  per-group :class:`BulkheadRegistry` isolation.  See
+  ``docs/degradation.md``.
 - :mod:`repro.service.http`      — stdlib ``/metrics`` + ``/healthz``
   + ``/stats`` endpoint.
 """
@@ -36,7 +43,20 @@ from repro.service.coalescer import (
     evaluate_batch,
     evaluate_request,
 )
-from repro.service.service import Service, ServiceClosed, ServiceOverloaded
+from repro.service.degradation import (
+    BrownoutController,
+    BulkheadRegistry,
+    DegradationDecision,
+    DegradationRecord,
+)
+from repro.service.errors import (
+    BulkheadRejected,
+    EvaluationCancelled,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.service.service import Service
 from repro.service.http import MetricsServer, serve_metrics
 
 __all__ = [
@@ -47,9 +67,16 @@ __all__ = [
     "CoalescerStats",
     "evaluate_batch",
     "evaluate_request",
-    "Service",
+    "BrownoutController",
+    "BulkheadRegistry",
+    "DegradationDecision",
+    "DegradationRecord",
+    "ServiceError",
     "ServiceClosed",
     "ServiceOverloaded",
+    "BulkheadRejected",
+    "EvaluationCancelled",
+    "Service",
     "MetricsServer",
     "serve_metrics",
 ]

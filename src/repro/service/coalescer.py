@@ -48,7 +48,10 @@ from repro.core import conditionals as _cond
 from repro.core.engines import ExecutionEngine, get_engine
 from repro.core.sampling import DeadlineExceeded, SampleBudgetExceeded
 from repro.rng import ensure_rng
+from repro.runtime import cancellation as _cancel
+from repro.runtime.cancellation import CancellationToken, EvaluationCancelled
 
+from repro.service.degradation import NO_DEGRADATION, DegradationDecision
 from repro.service.requests import QueryRequest, QueryResult, reduce_query
 
 __all__ = [
@@ -80,6 +83,12 @@ class CoalescerStats:
     #: Pooled seedless rows served from the cross-query sample ledger
     #: instead of a fresh engine run (``config.sample_cache`` on).
     ledger_served: int = 0
+    #: Requests answered at a brownout level > 0 (reduced sample budget).
+    degraded_requests: int = 0
+    #: Requests cancelled mid-flight (deadline / client disconnect).
+    cancelled: int = 0
+    #: Requests refused by a group bulkhead (open breaker / at limit).
+    bulkhead_rejections: int = 0
 
 
 #: One entry per request: either a ``QueryResult`` or the exception that
@@ -125,6 +134,8 @@ def evaluate_request(
     engine: "str | ExecutionEngine | None" = None,
     config: "_cond.EvaluationConfig | None" = None,
     rng: "np.random.Generator | None" = None,
+    token: "CancellationToken | None" = None,
+    degrade: "DegradationDecision | None" = None,
     _batched: bool = False,
     _batch_size: int = 1,
     _plan=None,
@@ -133,19 +144,25 @@ def evaluate_request(
 
     This is the reference the determinism contract is stated against —
     the batched path produces answers bit-identical to this function for
-    any seeded request.  ``rng`` is only accepted for seedless requests
-    (callers that want solo evaluation with an external stream).
+    any seeded request, and a request answered at brownout level *k* is
+    bit-identical to this function called with ``degrade`` frozen at the
+    same level (the effective sample count is pure in ``(nominal,
+    level)``).  ``rng`` is only accepted for seedless requests (callers
+    that want solo evaluation with an external stream); ``token``
+    installs a cooperative cancellation scope around the draw.
     """
     config = config if config is not None else _cond.get_config()
     engine = engine if engine is not None else config.engine
     plan = _plan if _plan is not None else request.value.plan
-    n = request.resolve_samples(config)
+    decision = degrade if degrade is not None else NO_DEGRADATION
+    n, record = decision.apply(request.resolve_samples(config))
     _admit(config, n)
     if request.seed is not None:
         rng = request.rng()
     elif rng is None:
         rng = ensure_rng(None)
-    values = _draw(plan, n, rng, engine)
+    with _cancel.scope(token):
+        values = _draw(plan, n, rng, engine)
     answer, extra = reduce_query(request, values)
     return QueryResult(
         request=request,
@@ -156,6 +173,34 @@ def evaluate_request(
         latency_s=0.0,
         engine=_engine_name(engine),
         extra=extra,
+        degradation=record,
+    )
+
+
+def _pool_token(members, tokens) -> "CancellationToken | None":
+    """Aggregate cancellation for one pooled engine run.
+
+    A pooled run answers *every* member from one draw, so it may only be
+    deadline-cancelled when that hurts nobody still waiting: the run's
+    deadline is the **latest** member deadline, and only when every
+    member carries one.  Explicit per-member cancellations do not stop a
+    pooled run (the batchmates still need the rows)."""
+    if tokens is None:
+        return None
+    deadlines = []
+    for i, _ in members:
+        token = tokens.get(i)
+        if token is None or token.deadline_at is None:
+            return None
+        deadlines.append(token.deadline_at)
+    return CancellationToken(deadline_at=max(deadlines)) if deadlines else None
+
+
+def _result(req, answer, extra, n, size, engine, record) -> QueryResult:
+    return QueryResult(
+        request=req, value=answer, samples_used=n, batched=size > 1,
+        batch_size=size, latency_s=0.0, engine=_engine_name(engine),
+        extra=extra, degradation=record,
     )
 
 
@@ -168,93 +213,169 @@ def _evaluate_group(
     config,
     pool_rng,
     retries: int,
+    degrade: "DegradationDecision | None" = None,
+    tokens: "dict[int, CancellationToken] | None" = None,
+    bulkhead=None,
 ) -> None:
     """Answer one structural group, isolating per-request failures."""
     plan = group[0][1].value.plan  # the leader's compiled (cached) plan
     size = len(group)
-    seeded = [(i, r) for i, r in group if r.seed is not None]
-    pooled = [(i, r) for i, r in group if r.seed is None]
+    decision = degrade if degrade is not None else NO_DEGRADATION
+
+    def token_for(i):
+        return tokens.get(i) if tokens is not None else None
+
+    def mark_cancelled(i, exc) -> None:
+        outcomes[i] = exc
+        stats.cancelled += 1
+
+    def degraded(req) -> "tuple[int, object]":
+        n, record = decision.apply(req.resolve_samples(config))
+        if record is not None:
+            stats.degraded_requests += 1
+        return n, record
+
+    # Requests whose token already tripped while queued (expired deadline,
+    # disconnected client) are answered without drawing anything.
+    live: "list[tuple[int, QueryRequest]]" = []
+    for i, req in group:
+        token = token_for(i)
+        if token is not None and token.cancelled:
+            mark_cancelled(i, EvaluationCancelled(
+                f"request {req.uid} cancelled before evaluation "
+                f"({token.reason})", reason=token.reason or "cancelled",
+            ))
+        else:
+            live.append((i, req))
+    if not live:
+        return
+
+    # Bulkhead admission: a tripped or saturated group fails fast —
+    # *this* group only; the caller keeps serving every other group.
+    if bulkhead is not None:
+        rejection = bulkhead.try_enter()
+        if rejection is not None:
+            for i, _ in live:
+                outcomes[i] = rejection
+                stats.bulkhead_rejections += 1
+            return
+    bulk_outcome: "bool | None" = True  # fed to the breaker on exit
+
+    seeded = [(i, r) for i, r in live if r.seed is not None]
+    pooled = [(i, r) for i, r in live if r.seed is None]
 
     try:
-        # Seeded requests: one run of the shared plan per request stream.
-        for i, req in seeded:
-            n = req.resolve_samples(config)
-            _admit(config, n)
-            values = _draw(plan, n, req.rng(), engine)
-            stats.engine_runs += 1
-            stats.samples_drawn += n
-            answer, extra = reduce_query(req, values)
-            outcomes[i] = QueryResult(
-                request=req, value=answer, samples_used=n, batched=size > 1,
-                batch_size=size, latency_s=0.0, engine=_engine_name(engine),
-                extra=extra,
-            )
-        # Seedless requests: ONE pooled run sliced across requests.
-        # With the sample ledger on, the pooled run is served from (and
-        # feeds) the cross-query cache — repeated same-shape floods reuse
-        # rows instead of redrawing.  Seeded requests above deliberately
-        # bypass the ledger: their per-request streams are the solo
-        # bit-identity contract.
-        if pooled:
-            counts = [r.resolve_samples(config) for _, r in pooled]
-            total = int(sum(counts))
-            rows = None
-            if config.sample_cache:
-                from repro.core.ledger import LEDGER
-
-                rows = LEDGER.serve(plan, total, pool_rng, engine, config)
-            if rows is not None:
-                stats.ledger_served += total
-            else:
-                _admit(config, total)
-                rows = _draw(plan, total, pool_rng, engine)
+        try:
+            # Seeded requests: one run of the shared plan per request
+            # stream.  Cancellation is per-request — an expired deadline
+            # stops that request's run at the next engine batch boundary
+            # and never touches its batchmates' streams.
+            for i, req in seeded:
+                n, record = degraded(req)
+                _admit(config, n)
+                try:
+                    with _cancel.scope(token_for(i)):
+                        values = _draw(plan, n, req.rng(), engine)
+                except EvaluationCancelled as exc:
+                    mark_cancelled(i, exc)
+                    continue
                 stats.engine_runs += 1
-                stats.samples_drawn += total
-            offset = 0
-            for (i, req), n in zip(pooled, counts):
-                values = rows[offset:offset + n]
-                offset += n
+                stats.samples_drawn += n
                 answer, extra = reduce_query(req, values)
-                outcomes[i] = QueryResult(
-                    request=req, value=answer, samples_used=n,
-                    batched=size > 1, batch_size=size, latency_s=0.0,
-                    engine=_engine_name(engine), extra=extra,
-                )
-                stats.pooled_requests += 1
+                outcomes[i] = _result(req, answer, extra, n, size, engine, record)
+            # Seedless requests: ONE pooled run sliced across requests.
+            # With the sample ledger on, the pooled run is served from
+            # (and feeds) the cross-query cache — repeated same-shape
+            # floods reuse rows instead of redrawing.  Seeded requests
+            # above deliberately bypass the ledger: their per-request
+            # streams are the solo bit-identity contract.
+            if pooled:
+                sizing = [degraded(r) for _, r in pooled]
+                counts = [n for n, _ in sizing]
+                total = int(sum(counts))
+                rows = None
+                if config.sample_cache:
+                    from repro.core.ledger import LEDGER
+
+                    rows = LEDGER.serve(plan, total, pool_rng, engine, config)
+                if rows is not None:
+                    stats.ledger_served += total
+                else:
+                    _admit(config, total)
+                    try:
+                        with _cancel.scope(_pool_token(pooled, tokens)):
+                            rows = _draw(plan, total, pool_rng, engine)
+                    except EvaluationCancelled as exc:
+                        # Every member's deadline has passed: the whole
+                        # pooled cohort is cancelled, not faulted.
+                        for i, _ in pooled:
+                            if outcomes[i] is None:
+                                mark_cancelled(i, exc)
+                        rows = None
+                    if rows is not None:
+                        stats.engine_runs += 1
+                        stats.samples_drawn += total
+                if rows is not None:
+                    offset = 0
+                    for (i, req), (n, record) in zip(pooled, sizing):
+                        values = rows[offset:offset + n]
+                        offset += n
+                        answer, extra = reduce_query(req, values)
+                        outcomes[i] = _result(
+                            req, answer, extra, n, size, engine, record
+                        )
+                        stats.pooled_requests += 1
+            if size > 1:
+                stats.coalesced_requests += size
+            return
+        except (SampleBudgetExceeded, DeadlineExceeded):
+            raise  # admission failures abort the group; the service maps them
+        except EvaluationCancelled as exc:
+            # Defensive: a cancellation that escaped the per-request
+            # scopes (e.g. raised by a custom engine outside any scope)
+            # answers the still-open requests; it is not a group fault.
+            for i, _ in live:
+                if outcomes[i] is None:
+                    mark_cancelled(i, exc)
+            return
+        except Exception:
+            # Bulk evaluation died mid-group (flaky source, chaos-injected
+            # fault, ...).  Fall back to per-request evaluation so one bad
+            # request — or one transient fault — cannot fail its batchmates.
+            stats.group_fallbacks += 1
+            bulk_outcome = False
+
+        for i, req in group:
+            if outcomes[i] is not None:
+                continue  # answered before the fault
+            last: BaseException | None = None
+            for _ in range(retries + 1):
+                try:
+                    outcomes[i] = evaluate_request(
+                        req, engine=engine, config=config, rng=pool_rng,
+                        token=token_for(i), degrade=decision,
+                        _batched=size > 1, _batch_size=size,
+                    )
+                    stats.engine_runs += 1
+                    stats.samples_drawn += outcomes[i].samples_used
+                    last = None
+                    break
+                except (SampleBudgetExceeded, DeadlineExceeded):
+                    raise
+                except EvaluationCancelled as exc:
+                    mark_cancelled(i, exc)
+                    last = None
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolate per request
+                    last = exc
+            if last is not None:
+                outcomes[i] = last
+                stats.failures += 1
         if size > 1:
             stats.coalesced_requests += size
-        return
-    except (SampleBudgetExceeded, DeadlineExceeded):
-        raise  # admission failures abort the group; the service maps them
-    except Exception:
-        # Bulk evaluation died mid-group (flaky source, chaos-injected
-        # fault, ...).  Fall back to per-request evaluation so one bad
-        # request — or one transient fault — cannot fail its batchmates.
-        stats.group_fallbacks += 1
-
-    for i, req in group:
-        if outcomes[i] is not None:
-            continue  # answered before the fault
-        last: BaseException | None = None
-        for _ in range(retries + 1):
-            try:
-                outcomes[i] = evaluate_request(
-                    req, engine=engine, config=config, rng=pool_rng,
-                    _batched=size > 1, _batch_size=size,
-                )
-                stats.engine_runs += 1
-                stats.samples_drawn += outcomes[i].samples_used
-                last = None
-                break
-            except (SampleBudgetExceeded, DeadlineExceeded):
-                raise
-            except Exception as exc:  # noqa: BLE001 — isolate per request
-                last = exc
-        if last is not None:
-            outcomes[i] = last
-            stats.failures += 1
-    if size > 1:
-        stats.coalesced_requests += size
+    finally:
+        if bulkhead is not None:
+            bulkhead.exit(bulk_outcome)
 
 
 def evaluate_batch(
@@ -265,6 +386,9 @@ def evaluate_batch(
     pool_rng: "np.random.Generator | int | None" = None,
     retries: int = 1,
     stats: CoalescerStats | None = None,
+    degrade: "DegradationDecision | None" = None,
+    tokens: "dict[int, CancellationToken] | None" = None,
+    bulkheads=None,
 ) -> BatchOutcome:
     """Answer a batch of requests, coalescing same-shape plans.
 
@@ -274,6 +398,21 @@ def evaluate_batch(
     :class:`DeadlineExceeded`) become per-request outcomes too — they
     reject the remainder of the batch request-by-request rather than
     raising out of the coalescer.
+
+    Overload-control hooks (all optional, all ``None`` by default so the
+    bare coalescer behaves exactly as before):
+
+    - ``degrade`` — a frozen per-batch
+      :class:`~repro.service.degradation.DegradationDecision`; every
+      request's sample budget is scaled through it and degraded answers
+      carry a :class:`~repro.service.degradation.DegradationRecord`;
+    - ``tokens`` — ``{batch index: CancellationToken}``; a tripped token
+      answers its request with :class:`EvaluationCancelled` (before the
+      draw, or mid-run at the next engine batch boundary);
+    - ``bulkheads`` — a
+      :class:`~repro.service.degradation.BulkheadRegistry`; each
+      structural group is admitted through its own bulkhead, so a
+      tripped group fails fast while healthy groups keep serving.
     """
     config = config if config is not None else _cond.get_config()
     engine = engine if engine is not None else config.engine
@@ -291,12 +430,13 @@ def evaluate_batch(
             stats.failures += 1
 
     stats.groups += len(groups)
-    for group in groups.values():
+    for key, group in groups.items():
         try:
             _evaluate_group(
                 group, outcomes, stats,
                 engine=engine, config=config, pool_rng=pool_rng,
-                retries=retries,
+                retries=retries, degrade=degrade, tokens=tokens,
+                bulkhead=bulkheads.get(key) if bulkheads is not None else None,
             )
         except (SampleBudgetExceeded, DeadlineExceeded) as exc:
             for i, _ in group:

@@ -1,0 +1,127 @@
+"""The service-tier error taxonomy: structured, machine-actionable failures.
+
+Every way the service can refuse or abandon a request maps to one class
+here, and every class carries the fields a client needs to *act* on the
+failure instead of parsing the message:
+
+===========================  ================================================
+:class:`ServiceError`        Base class for every service-tier failure.
+:class:`ServiceClosed`       Submit before ``start()`` or after ``stop()``.
+:class:`ServiceOverloaded`   Shed at the ``max_pending`` queue bound.
+                             Fields: ``pending``, ``max_pending``,
+                             ``retry_after_hint``.
+:class:`BulkheadRejected`    A structural group's bulkhead refused the
+                             request — its circuit breaker is open after
+                             repeated bulk faults, or the group is already
+                             at its concurrency limit.  Fields:
+                             ``group``, ``breaker_state``, ``reason``,
+                             plus the overload fields above.
+:class:`EvaluationCancelled` (re-exported from
+                             :mod:`repro.runtime.cancellation`) An
+                             in-flight evaluation stopped at a batch
+                             boundary.  Fields: ``reason``, ``progress``.
+===========================  ================================================
+
+``retry_after_hint`` is the ``Retry-After``-style backoff suggestion in
+**seconds** (a heuristic, not a promise): for sheds it estimates when the
+queue will have drained below the bound, for tripped bulkheads when the
+breaker's next recovery probe is due.  ``None`` means the server has no
+estimate.
+
+Admission failures reuse the library's own exceptions
+(:class:`~repro.core.sampling.SampleBudgetExceeded`,
+:class:`~repro.core.sampling.DeadlineExceeded`) — a service shares one
+error vocabulary with solo evaluation.  See the error table in
+``docs/api.md`` and the degradation model in ``docs/degradation.md``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cancellation import EvaluationCancelled
+
+__all__ = [
+    "ServiceError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "BulkheadRejected",
+    "EvaluationCancelled",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for every service-tier failure."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is not running (never started, or already stopped)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The pending queue exceeded ``max_pending``; the request was shed.
+
+    Structured fields:
+
+    - ``pending`` — queue depth observed at the shed decision;
+    - ``max_pending`` — the configured bound it hit;
+    - ``retry_after_hint`` — suggested client backoff in seconds
+      (``None`` when the server has no estimate).
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        pending: int | None = None,
+        max_pending: int | None = None,
+        retry_after_hint: float | None = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"pending queue at bound ({pending}/{max_pending}); "
+                "request shed"
+            )
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending
+        self.retry_after_hint = retry_after_hint
+
+
+class BulkheadRejected(ServiceOverloaded):
+    """One structural group's bulkhead refused this request.
+
+    A :class:`BulkheadRejected` is a *scoped* overload: only the named
+    group is unhealthy (its circuit breaker opened after repeated bulk
+    faults, or it is already running at its concurrency limit); other
+    groups keep serving.  Additional fields:
+
+    - ``group`` — the structural-hash group key that was refused;
+    - ``breaker_state`` — ``"open"`` / ``"half-open"`` / ``"closed"``
+      at rejection time;
+    - ``reason`` — ``"breaker-open"`` or ``"concurrency-limit"``.
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        group: str | None = None,
+        breaker_state: str | None = None,
+        reason: str = "breaker-open",
+        pending: int | None = None,
+        max_pending: int | None = None,
+        retry_after_hint: float | None = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"bulkhead for group {group!r} rejected the request "
+                f"({reason}; breaker {breaker_state})"
+            )
+        super().__init__(
+            message,
+            pending=pending,
+            max_pending=max_pending,
+            retry_after_hint=retry_after_hint,
+        )
+        self.group = group
+        self.breaker_state = breaker_state
+        self.reason = reason

@@ -5,7 +5,9 @@ No aiohttp, no third-party web framework: a
 serves the service's Prometheus text exposition.  Three routes:
 
 - ``GET /metrics``  — ``Service.render_metrics()`` (Prometheus 0.0.4 text)
-- ``GET /healthz``  — ``ok`` while the service accepts requests,
+- ``GET /healthz``  — load-aware health from ``Service.health()``:
+  ``ok`` (200) nominal, ``degraded`` (200) serving at a brownout level
+  or with open group breakers, ``overloaded`` (503) shedding, and
   ``closed`` (503) once stopped
 - ``GET /stats``    — the raw ``Service.stats()`` snapshot as JSON
 
@@ -45,7 +47,15 @@ def _make_handler(service):
             if path == "/metrics":
                 self._send(200, service.render_metrics(), _CONTENT_TYPE)
             elif path == "/healthz":
-                if getattr(service, "_closed", True):
+                health = getattr(service, "health", None)
+                if health is not None:
+                    state = health()
+                    self._send(
+                        state.get("http", 200),
+                        state.get("status", "ok") + "\n",
+                        "text/plain; charset=utf-8",
+                    )
+                elif getattr(service, "_closed", True):
                     self._send(503, "closed\n", "text/plain; charset=utf-8")
                 else:
                     self._send(200, "ok\n", "text/plain; charset=utf-8")

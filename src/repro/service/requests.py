@@ -75,6 +75,13 @@ class QueryRequest:
     divisions:
         Percentile divisions for ``percentiles`` (``divisions + 1``
         quantiles come back).
+    deadline:
+        Per-request wall-clock budget in seconds, measured from
+        submission.  Unlike the service-wide ``deadline`` (which bounds
+        the whole service lifetime), an expired request deadline
+        cooperatively cancels *this request's* in-flight sampling at the
+        next engine batch boundary
+        (:class:`~repro.runtime.cancellation.EvaluationCancelled`).
     """
 
     value: Uncertain
@@ -84,6 +91,7 @@ class QueryRequest:
     threshold: float = 0.5
     level: float = 0.95
     divisions: int = 100
+    deadline: float | None = None
     #: Monotonically increasing request id (diagnostics / tracing only).
     uid: int = dataclasses.field(default_factory=lambda: next(_request_ids))
 
@@ -107,6 +115,10 @@ class QueryRequest:
         if self.divisions < 1:
             raise ValueError(
                 f"divisions must be >= 1, got {self.divisions}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive, got {self.deadline}"
             )
 
     # -- derived properties --------------------------------------------------
@@ -160,6 +172,15 @@ class QueryResult:
     engine: str
     #: Kind-specific extras (e.g. the measured ``evidence`` for ``pr``).
     extra: dict = dataclasses.field(default_factory=dict)
+    #: Brownout provenance: ``None`` for an undegraded answer, else the
+    #: frozen :class:`~repro.service.degradation.DegradationRecord`
+    #: naming the level and the nominal vs effective sample counts.
+    degradation: "object | None" = None
+
+    @property
+    def degraded(self) -> bool:
+        """Was this answer produced under a brownout level > 0?"""
+        return self.degradation is not None
 
 
 def reduce_query(request: QueryRequest, values: np.ndarray) -> tuple[Any, dict]:

@@ -46,18 +46,13 @@ from repro.runtime.metrics import (
     render_histogram,
 )
 
+from repro.runtime.cancellation import CancellationToken
 from repro.service.coalescer import CoalescerStats, evaluate_batch
+from repro.service.degradation import BrownoutController, BulkheadRegistry
+from repro.service.errors import ServiceClosed, ServiceOverloaded
 from repro.service.requests import QUERY_KINDS, QueryRequest, QueryResult
 
 __all__ = ["Service", "ServiceClosed", "ServiceOverloaded"]
-
-
-class ServiceOverloaded(RuntimeError):
-    """The pending queue exceeded ``max_pending``; the request was shed."""
-
-
-class ServiceClosed(RuntimeError):
-    """The service is not running (never started, or already stopped)."""
 
 
 #: Occupancy histogram bounds: requests per coalesced batch.
@@ -80,6 +75,9 @@ class _ServiceMetrics:
         self.engine_runs = 0
         self.samples_drawn = 0
         self.group_fallbacks = 0
+        self.degraded = 0
+        self.cancelled = 0
+        self.bulkhead_rejected = 0
         self.batch_occupancy = LatencyHistogram(bounds=_OCCUPANCY_BOUNDS)
         self.latency: dict[str, LatencyHistogram] = {}
 
@@ -106,6 +104,9 @@ class _ServiceMetrics:
             self.samples_drawn += stats.samples_drawn
             self.group_fallbacks += stats.group_fallbacks
             self.failures += stats.failures
+            self.degraded += stats.degraded_requests
+            self.cancelled += stats.cancelled
+            self.bulkhead_rejected += stats.bulkhead_rejections
 
     def record_latency(self, kind: str, seconds: float) -> None:
         with self._lock:
@@ -131,6 +132,9 @@ class _ServiceMetrics:
                 "engine_runs": self.engine_runs,
                 "samples_drawn": self.samples_drawn,
                 "group_fallbacks": self.group_fallbacks,
+                "degraded_requests": self.degraded,
+                "cancelled": self.cancelled,
+                "bulkhead_rejected": self.bulkhead_rejected,
                 "batch_occupancy": self.batch_occupancy.as_dict(),
                 "latency_by_kind": {
                     kind: hist.as_dict()
@@ -174,6 +178,23 @@ class Service:
         The :class:`~repro.runtime.RuntimeMetrics` sink whose engine
         histograms ``render_metrics`` exports; defaults to the
         process-global sink.
+    brownout:
+        Graceful-degradation controller: ``True`` for a default
+        :class:`~repro.service.degradation.BrownoutController`, an
+        instance for custom levels/watermarks, ``None`` (default) to
+        disable — the service then degrades the classic way, by
+        shedding only.  With a controller installed, queue pressure
+        scales every request's sample budget down through the
+        controller's levels *before* the ``max_pending`` shed bound
+        fires; degraded answers carry a ``DegradationRecord``.
+    bulkheads:
+        Per-structural-group isolation: ``True`` for a default
+        :class:`~repro.service.degradation.BulkheadRegistry`, an
+        instance for custom limits/breakers, ``None`` (default) to
+        disable.  Each coalescer group then runs behind its own
+        concurrency limit and circuit breaker; a tripped group fails
+        fast with :class:`~repro.service.errors.BulkheadRejected`
+        while healthy groups keep serving.
     """
 
     def __init__(
@@ -189,6 +210,8 @@ class Service:
         retries: int = 1,
         pool_seed: "int | None" = None,
         metrics=METRICS,
+        brownout: "BrownoutController | bool | None" = None,
+        bulkheads: "BulkheadRegistry | bool | None" = None,
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -207,6 +230,12 @@ class Service:
         self._pool_rng = ensure_rng(pool_seed)
         self._runtime_metrics = metrics
         self.metrics = _ServiceMetrics()
+        if brownout is True:
+            brownout = BrownoutController()
+        self.brownout: "BrownoutController | None" = brownout or None
+        if bulkheads is True:
+            bulkheads = BulkheadRegistry()
+        self.bulkheads: "BulkheadRegistry | None" = bulkheads or None
         # Admission state shares EvaluationConfig's budget vocabulary: the
         # service owns a private config (never installed as the ambient
         # process config — worker threads must not race on the global).
@@ -304,18 +333,41 @@ class Service:
         """
         if self._closed or self._queue is None:
             raise ServiceClosed("Service.submit before start() or after stop()")
-        if self._queue.qsize() >= self.max_pending:
+        pending = self._queue.qsize()
+        if self.brownout is not None:
+            # Feed the controller *before* the shed decision: brownout is
+            # the softer response, shedding the last resort above it.
+            self.brownout.observe(pending, self.max_pending)
+        if pending >= self.max_pending:
             self.metrics.record_shed()
+            self._runtime_metrics.record_degradation(shed=1)
             raise ServiceOverloaded(
-                f"pending queue at bound ({self.max_pending}); request shed"
+                pending=pending,
+                max_pending=self.max_pending,
+                retry_after_hint=self._drain_hint(pending),
             )
         self._admission_check(request)
         self.metrics.admit(request.kind)
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[QueryResult]" = loop.create_future()
+        token = CancellationToken.with_timeout(request.deadline)
+        # A caller abandoning its future (asyncio cancellation, client
+        # disconnect) trips the token, freeing the worker thread at the
+        # next engine batch boundary instead of burning it to completion.
+        future.add_done_callback(
+            lambda f, t=token: t.cancel("client-disconnected")
+            if f.cancelled() else None
+        )
         enqueued = time.perf_counter()
-        await self._queue.put((request, future, enqueued))
+        await self._queue.put((request, future, enqueued, token))
         return await future
+
+    def _drain_hint(self, pending: int) -> float:
+        """``Retry-After``-style backoff suggestion (seconds) for a shed:
+        a rough queue-drain estimate from the batching parameters."""
+        batches_left = max(1.0, pending / float(self.max_batch))
+        per_batch = max(self.window, 0.001)
+        return round(batches_left * per_batch / self.workers, 6)
 
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
@@ -335,17 +387,38 @@ class Service:
                     self._queue.put_nowait(None)
                     break
                 batch.append(extra)
-            requests = [req for req, _, _ in batch]
+            requests = [req for req, _, _, _ in batch]
+            tokens = {i: tok for i, (_, _, _, tok) in enumerate(batch)}
+            decision = None
+            if self.brownout is not None:
+                # Re-observe at drain time (pressure may have moved while
+                # this worker slept the window), then freeze one decision
+                # for the whole batch: every request in it is answered at
+                # a *level*, which is what keeps seeded answers
+                # reproducible (see docs/degradation.md).
+                self.brownout.observe(self._queue.qsize(), self.max_pending)
+                decision = self.brownout.decision()
             stats = CoalescerStats()
             try:
                 outcomes = await loop.run_in_executor(
-                    self._executor, self._evaluate, requests, stats
+                    self._executor, self._evaluate,
+                    requests, stats, decision, tokens,
                 )
             except BaseException as exc:  # defensive: executor-level failure
                 outcomes = [exc] * len(batch)
             self.metrics.record_batch(len(batch), stats)
+            self._runtime_metrics.record_degradation(
+                degraded=stats.degraded_requests,
+                cancelled=stats.cancelled,
+                bulkhead_rejections=stats.bulkhead_rejections,
+                level_now=decision.level if decision is not None else None,
+                breakers_open_now=(
+                    self.bulkheads.open_groups()
+                    if self.bulkheads is not None else None
+                ),
+            )
             done = time.perf_counter()
-            for (req, future, enqueued), outcome in zip(batch, outcomes):
+            for (req, future, enqueued, _), outcome in zip(batch, outcomes):
                 if future.cancelled():
                     continue
                 latency = done - enqueued
@@ -356,7 +429,7 @@ class Service:
                     outcome.latency_s = latency
                     future.set_result(outcome)
 
-    def _evaluate(self, requests, stats) -> list:
+    def _evaluate(self, requests, stats, decision=None, tokens=None) -> list:
         """Thread-pool entry: run the coalescer with the service config."""
         return evaluate_batch(
             requests,
@@ -365,6 +438,9 @@ class Service:
             pool_rng=self._pool_rng,
             retries=self.retries,
             stats=stats,
+            degrade=decision,
+            tokens=tokens,
+            bulkheads=self.bulkheads,
         )
 
     # -- per-kind conveniences ----------------------------------------------
@@ -429,6 +505,46 @@ class Service:
 
     # -- observability -------------------------------------------------------
 
+    def health(self) -> dict:
+        """Load-aware health: ``closed`` / ``overloaded`` / ``degraded`` /
+        ``ok`` with the HTTP status ``/healthz`` should answer.
+
+        - ``closed`` (503): not running.
+        - ``overloaded`` (503): the queue is at the shed bound, or the
+          brownout controller is pinned at its deepest level with the
+          queue still above the high watermark — new work is being (or
+          is about to be) refused.
+        - ``degraded`` (200): serving everything, but at a brownout
+          level > 0 or with open group breakers.  200 on purpose: a
+          degraded instance is still a *correct* instance (answers are
+          just wider), and flapping it out of a load balancer would turn
+          brownout into an outage.
+        - ``ok`` (200): nominal.
+        """
+        if self._closed:
+            return {"status": "closed", "http": 503}
+        pending = self.queue_depth
+        level = self.brownout.level if self.brownout is not None else 0
+        open_breakers = (
+            self.bulkheads.open_groups() if self.bulkheads is not None else 0
+        )
+        detail = {
+            "queue_depth": pending,
+            "max_pending": self.max_pending,
+            "degradation_level": level,
+            "open_breakers": open_breakers,
+        }
+        if pending >= self.max_pending or (
+            self.brownout is not None
+            and self.brownout.at_max_level
+            and level > 0
+            and pending >= self.brownout.high_watermark * self.max_pending
+        ):
+            return {"status": "overloaded", "http": 503, **detail}
+        if level > 0 or open_breakers > 0:
+            return {"status": "degraded", "http": 200, **detail}
+        return {"status": "ok", "http": 200, **detail}
+
     def stats(self) -> dict:
         """Service-level snapshot (counters, occupancy, latency by kind)."""
         snap = self.metrics.snapshot()
@@ -436,6 +552,19 @@ class Service:
         snap["samples_executed"] = (
             self._config.samples_executed if self._config is not None else 0
         )
+        snap["degradation"] = {
+            "status": self.health()["status"],
+            "brownout": (
+                self.brownout.snapshot() if self.brownout is not None else None
+            ),
+            "degraded_requests": snap.pop("degraded_requests"),
+            "cancelled": snap.pop("cancelled"),
+            "bulkhead_rejected": snap.pop("bulkhead_rejected"),
+            "shed": snap["shed"],
+            "groups": (
+                self.bulkheads.states() if self.bulkheads is not None else {}
+            ),
+        }
         return snap
 
     def render_metrics(self, prefix: str = "repro") -> str:
@@ -475,6 +604,24 @@ class Service:
                 "Joint samples drawn by the coalescer.")
         counter("group_fallbacks_total", snap["group_fallbacks"],
                 "Bulk evaluations that fell back to per-request evaluation.")
+        counter("degraded_requests_total", snap["degraded_requests"],
+                "Requests answered at a brownout level > 0.")
+        counter("cancelled_total", snap["cancelled"],
+                "Requests cancelled mid-flight (deadline / disconnect).")
+        counter("bulkhead_rejected_total", snap["bulkhead_rejected"],
+                "Requests refused by a group bulkhead.")
+        level = self.brownout.level if self.brownout is not None else 0
+        lines.append(f"# HELP {prefix}_service_degradation_level "
+                     "Current brownout level (0 = nominal).")
+        lines.append(f"# TYPE {prefix}_service_degradation_level gauge")
+        lines.append(f"{prefix}_service_degradation_level {level}")
+        open_breakers = (
+            self.bulkheads.open_groups() if self.bulkheads is not None else 0
+        )
+        lines.append(f"# HELP {prefix}_service_open_breakers "
+                     "Structural groups with a non-closed circuit breaker.")
+        lines.append(f"# TYPE {prefix}_service_open_breakers gauge")
+        lines.append(f"{prefix}_service_open_breakers {open_breakers}")
         for kind in QUERY_KINDS:
             count = snap["requests_by_kind"].get(kind, 0)
             if count:

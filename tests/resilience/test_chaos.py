@@ -112,9 +112,11 @@ class TestChaosEngine:
         engine = ChaosEngine(latency_s=0.05, seed=0)
         value = diamond()
         with evaluation_config(deadline=0.02):
-            value.samples(8, rng=0, engine=engine)  # stalls, then returns
+            # The stall outlives the deadline; the ambient deadline token
+            # stops the draw at the inner engine's next batch boundary
+            # (mid-draw), not merely before the following draw.
             with pytest.raises(DeadlineExceeded):
-                value.samples(8, rng=0, engine=engine)  # next draw is late
+                value.samples(8, rng=0, engine=engine)
 
     def test_faults_are_per_batch_and_reproducible(self):
         def fault_batches(seed):

@@ -1,0 +1,202 @@
+"""Bulkhead isolation: per-group breakers, fail-fast rejects, recovery.
+
+One pathological plan shape must not starve the rest of the service: its
+structural group trips its own circuit breaker and fails fast with
+``Retry-After``-style metadata while healthy groups keep serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import Uncertain
+from repro.dists import Gaussian
+from repro.dists.base import Distribution
+from repro.resilience.source import CircuitBreaker
+from repro.service import (
+    BulkheadRegistry,
+    QueryRequest,
+    Service,
+    ServiceOverloaded,
+    evaluate_request,
+)
+from repro.service.degradation import GroupBulkhead
+from repro.service.errors import BulkheadRejected
+
+
+def speed_query() -> Uncertain:
+    east = Uncertain(Gaussian(4.0, 1.0))
+    north = Uncertain(Gaussian(4.0, 1.0))
+    return (east * east + north * north) ** 0.5
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Flaky(Distribution):
+    """Fails on demand; flipping ``fail`` lets a recovery probe succeed."""
+
+    def __init__(self) -> None:
+        self.fail = True
+
+    def sample_n(self, n, rng):
+        if self.fail:
+            raise RuntimeError("flaky source down")
+        return rng.normal(0.0, 1.0, size=n)
+
+
+def breaker(**overrides) -> CircuitBreaker:
+    defaults = dict(window=8, failure_threshold=0.5, min_calls=2,
+                    recovery_calls=4)
+    defaults.update(overrides)
+    return CircuitBreaker(**defaults)
+
+
+class TestGroupBulkhead:
+    def test_slot_accounting(self):
+        bh = GroupBulkhead("g", limit=1, breaker=breaker(), retry_after_s=0.05)
+        assert bh.try_enter() is None
+        second = bh.try_enter()
+        assert isinstance(second, BulkheadRejected)
+        assert second.reason == "concurrency-limit"
+        assert second.group == "g"
+        assert second.retry_after_hint == 0.05
+        bh.exit(True)
+        assert bh.active == 0
+        assert bh.try_enter() is None  # slot freed
+
+    def test_breaker_open_rejects_scale_retry_after(self):
+        bh = GroupBulkhead("g", limit=4, breaker=breaker(), retry_after_s=0.05)
+        for _ in range(2):  # min_calls failures trip the breaker
+            assert bh.try_enter() is None
+            bh.exit(False)
+        assert bh.breaker.state == "open"
+        first = bh.try_enter()
+        assert first.reason == "breaker-open"
+        assert first.breaker_state == "open"
+        later = bh.try_enter()
+        # The hint shrinks as refused draws burn down the recovery count.
+        assert later.retry_after_hint < first.retry_after_hint
+
+    def test_cancelled_exits_are_breaker_neutral(self):
+        bh = GroupBulkhead("g", limit=1, breaker=breaker(), retry_after_s=0.05)
+        for _ in range(8):  # far past min_calls: still no outcomes recorded
+            assert bh.try_enter() is None
+            bh.exit(None)
+        assert bh.breaker.state == "closed"
+
+    def test_rejection_is_a_service_overloaded(self):
+        # Clients with ServiceOverloaded handling get bulkhead rejects free.
+        err = BulkheadRejected(group="g", breaker_state="open",
+                              reason="breaker-open", retry_after_hint=0.2)
+        assert isinstance(err, ServiceOverloaded)
+        assert "breaker-open" in str(err)
+
+
+class TestBulkheadRegistry:
+    def test_lru_bound_drops_oldest_group(self):
+        registry = BulkheadRegistry(max_groups=2)
+        a, b = registry.get("a"), registry.get("b")
+        registry.get("a")  # refresh a: b is now the eviction candidate
+        registry.get("c")
+        assert registry.get("a") is a
+        assert registry.get("b") is not b  # evicted: fresh state
+        assert len(registry.states()) == 2
+
+    def test_open_groups_counts_non_closed_breakers(self):
+        registry = BulkheadRegistry()
+        bh = registry.get("bad")
+        registry.get("good")
+        for _ in range(2):
+            bh.try_enter()
+            bh.exit(False)
+        assert registry.open_groups() == 1
+        states = registry.states()
+        assert states["bad"]["breaker"] == "open"
+        assert states["good"]["breaker"] == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            BulkheadRegistry(max_concurrency=0)
+        with pytest.raises(ValueError, match="max_groups"):
+            BulkheadRegistry(max_groups=0)
+        with pytest.raises(ValueError, match="retry_after_s"):
+            BulkheadRegistry(retry_after_s=-1.0)
+
+
+class TestServiceIsolation:
+    def test_tripped_group_fails_fast_while_healthy_group_serves(self):
+        flaky = Flaky()
+        bad = Uncertain(flaky) + 0.0
+        good = speed_query()
+
+        async def scenario():
+            events = []
+            async with Service(
+                engine="numpy", window=0.001, retries=0, bulkheads=True
+            ) as svc:
+                # Two failing bulk evaluations trip the bad group's breaker.
+                for seed in (1, 2):
+                    with pytest.raises(RuntimeError, match="flaky source"):
+                        await svc.samples(bad, 32, seed=seed)
+                # Now the group fails fast: no evaluation is attempted, so
+                # the flaky source is never touched again.
+                flaky.fail = False  # would succeed — but the breaker says no
+                with pytest.raises(BulkheadRejected) as err:
+                    await svc.samples(bad, 32, seed=3)
+                events.append(err.value)
+                # A healthy group is untouched by the bad group's breaker.
+                ok = await svc.samples(good, 32, seed=4)
+                return events, ok, svc.stats()
+
+        events, ok, stats = run(scenario())
+        rejection = events[0]
+        assert rejection.reason == "breaker-open"
+        assert rejection.retry_after_hint > 0
+        solo = evaluate_request(
+            QueryRequest(value=speed_query(), kind="samples", samples=32,
+                         seed=4),
+            engine="numpy",
+        )
+        assert np.array_equal(ok.value, solo.value)
+        assert stats["degradation"]["bulkhead_rejected"] >= 1
+
+    def test_breaker_recovers_via_half_open_probe(self):
+        flaky = Flaky()
+        bad = Uncertain(flaky) + 0.0
+
+        async def scenario():
+            async with Service(
+                engine="numpy", window=0.001, retries=0, bulkheads=True
+            ) as svc:
+                for seed in (1, 2):
+                    with pytest.raises(RuntimeError):
+                        await svc.samples(bad, 32, seed=seed)
+                flaky.fail = False
+                # The default registry breaker refuses recovery_calls=4
+                # draws while OPEN, then admits a half-open probe.
+                probed = None
+                for seed in range(3, 12):
+                    try:
+                        probed = await svc.samples(bad, 32, seed=seed)
+                        break
+                    except BulkheadRejected:
+                        continue
+                assert probed is not None, "probe never admitted"
+                # Closed again: the next request is served immediately.
+                after = await svc.samples(bad, 32, seed=99)
+                return probed, after, svc.stats()
+
+        probed, after, stats = run(scenario())
+        assert probed.value.shape == (32,)
+        assert after.value.shape == (32,)
+        groups = stats["degradation"]["groups"]
+        bad_state = next(
+            s for s in groups.values() if s["trips"] > 0
+        )
+        assert bad_state["breaker"] == "closed"
+        assert bad_state["recoveries"] == 1

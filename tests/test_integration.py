@@ -18,7 +18,7 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "2.1.0"
+        assert repro.__version__ == "2.2.0"
 
     def test_readme_style_quickstart(self):
         # The README's quickstart must keep working.
